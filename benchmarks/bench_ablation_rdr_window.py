@@ -1,0 +1,45 @@
+"""Ablation: RDR's boundary window and correction direction.
+
+The window decides which cells are candidates for probabilistic
+correction.  Too narrow misses disturbed cells sitting higher above the
+reference; too wide sweeps in unambiguous cells whose "correction" is a
+coin flip.  Also compares the paper's symmetric correction (both sides of
+the reference) against an upper-side-only variant.
+"""
+
+from repro.analysis.characterization import rdr_experiment
+from repro.analysis.reporting import format_table
+from repro.core import RdrConfig
+from repro.flash import FlashGeometry
+
+GEOMETRY = FlashGeometry(blocks=1, wordlines_per_block=16, bitlines_per_block=8192)
+WINDOWS = (4.0, 8.0, 12.0, 24.0, 48.0)
+
+
+def _sweep():
+    rows = []
+    for window in WINDOWS:
+        for below in (True, False):
+            config = RdrConfig(upper_window=window, correct_below_reference=below)
+            points = rdr_experiment(
+                read_counts=(1_000_000,), geometry=GEOMETRY, wordlines=(0,),
+                seed=13, config=config,
+            )
+            rows.append(
+                [window, "both sides" if below else "upper only",
+                 f"{points[0].reduction_percent:.1f}%"]
+            )
+    return rows
+
+
+def bench_ablation_rdr_window(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["upper window", "correction sides", "RBER reduction at 1M reads"],
+        rows,
+        title="Ablation: RDR boundary window and correction direction",
+    )
+    emit("ablation_rdr_window", table)
+    reductions = {(r[0], r[1]): float(r[2].rstrip("%")) for r in rows}
+    # Wider windows capture more of the disturbed pile than the narrowest.
+    assert reductions[(24.0, "both sides")] > reductions[(4.0, "both sides")]

@@ -1,0 +1,42 @@
+"""Ablation: the Vpass tuning resolution Δ.
+
+Step 1 of the mechanism reduces Vpass by "the smallest resolution by which
+Vpass can change".  A finer Δ finds a deeper safe Vpass but needs more
+measurement reads per tuning pass (each of which costs latency and its own
+read disturb); this bench quantifies the trade-off behind the paper's
+24.34 s/day overhead figure.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import TunerConfig, VpassTuner
+from repro.model.lifetime import AnalyticTunableBlock
+from repro.units import days
+
+STEPS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _sweep(model):
+    rows = []
+    for step in STEPS:
+        tuner = VpassTuner(config=TunerConfig(step=step))
+        block = AnalyticTunableBlock(model=model, pe_cycles=8000, age_seconds=days(1))
+        outcome = tuner.tune_after_refresh(block)
+        rows.append(
+            [step, f"{outcome.reduction_percent:.2f}%", outcome.measurements,
+             outcome.extra_errors, outcome.margin]
+        )
+    return rows
+
+
+def bench_ablation_tuning_step(benchmark, emit, lifetime_model):
+    rows = benchmark.pedantic(lambda: _sweep(lifetime_model), rounds=1, iterations=1)
+    table = format_table(
+        ["step Δ", "Vpass reduction", "measurements", "extra errors N", "margin M"],
+        rows,
+        title="Ablation: tuning resolution Δ vs. depth and measurement cost",
+    )
+    emit("ablation_tuning_step", table)
+    measurements = [r[2] for r in rows]
+    assert measurements[0] >= measurements[-1], "finer steps measure more"
+    for row in rows:
+        assert row[3] <= row[4], "the found Vpass always respects the margin"

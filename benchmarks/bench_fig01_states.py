@@ -1,0 +1,49 @@
+"""Figure 1: the 2-bit MLC threshold-voltage layout.
+
+Regenerates the conceptual figure's data: the four state distributions of
+a fresh block, the read references between them, and the nominal Vpass
+above everything.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.flash import FlashBlock, FlashGeometry, MlcState
+from repro.flash.state import state_to_bits
+from repro.physics.constants import READ_REFERENCES
+from repro.rng import RngFactory
+from repro.units import VPASS_NOMINAL
+
+
+def _measure_states():
+    geometry = FlashGeometry(blocks=1, wordlines_per_block=4, bitlines_per_block=16384)
+    block = FlashBlock(geometry, RngFactory(0))
+    block.erase()
+    block.program_random()
+    voltages = block.current_voltages(0.0)
+    states = block.cells.true_states
+    rows = []
+    for state in MlcState:
+        v = voltages[states == int(state)]
+        lsb, msb = state_to_bits(state)
+        rows.append(
+            [state.name, f"{lsb}{msb}", float(v.mean()), float(v.std()),
+             float(np.percentile(v, 0.1)), float(np.percentile(v, 99.9))]
+        )
+    return rows
+
+
+def bench_fig01_state_layout(benchmark, emit):
+    rows = benchmark(_measure_states)
+    table = format_table(
+        ["state", "(LSB,MSB)", "mean Vth", "sigma", "p0.1", "p99.9"],
+        rows,
+        title="Figure 1: fresh MLC state distributions (normalized scale)",
+    )
+    refs = "  ".join(
+        f"{name}={v:.0f}" for name, v in zip(("Va", "Vb", "Vc"), READ_REFERENCES)
+    )
+    emit("fig01_states", table + f"\nread references: {refs}  Vpass={VPASS_NOMINAL:.0f}")
+    means = [row[2] for row in rows]
+    assert means == sorted(means)
+    assert means[-1] < VPASS_NOMINAL

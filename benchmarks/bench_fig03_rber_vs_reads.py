@@ -1,0 +1,59 @@
+"""Figure 3 (and its embedded slope table): RBER vs. read disturb count
+under seven P/E wear levels.
+
+The paper reports linear growth with slopes 1.00e-9 (2K P/E) through
+1.90e-8 (15K P/E).  The bench fits our slopes and prints them next to the
+paper's values.
+"""
+
+import numpy as np
+
+from repro.analysis.characterization import rber_vs_read_disturb
+from repro.analysis.reporting import format_table
+from repro.units import hours
+
+PAPER_SLOPES = {
+    2000: 1.00e-9,
+    3000: 1.63e-9,
+    4000: 2.37e-9,
+    5000: 3.74e-9,
+    8000: 7.50e-9,
+    10000: 9.10e-9,
+    15000: 1.90e-8,
+}
+
+
+def bench_fig03_slope_table(benchmark, emit, model):
+    series = benchmark.pedantic(
+        lambda: rber_vs_read_disturb(
+            pe_values=tuple(PAPER_SLOPES),
+            reads=np.arange(0, 100_001, 10_000),
+            retention_age_seconds=hours(1),
+            model=model,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for s in series:
+        paper = PAPER_SLOPES[s.pe_cycles]
+        rows.append(
+            [
+                s.pe_cycles,
+                f"{s.slope:.2e}",
+                f"{paper:.2e}",
+                f"{s.slope / paper:.2f}x",
+                f"{s.intercept:.2e}",
+                f"{s.rber[-1]:.2e}",
+            ]
+        )
+    table = format_table(
+        ["P/E cycles", "slope (ours)", "slope (paper)", "ratio", "intercept", "RBER@100K"],
+        rows,
+        title="Figure 3: RBER vs. read disturb count -- fitted slopes per wear level",
+    )
+    emit("fig03_slope_table", table)
+    slopes = [s.slope for s in series]
+    assert slopes == sorted(slopes), "slopes must grow with wear"
+    for s in series:
+        assert 0.4 < s.slope / PAPER_SLOPES[s.pe_cycles] < 2.5

@@ -1,0 +1,57 @@
+"""Figure 6: overall RBER and tolerable Vpass reduction vs. retention age.
+
+The actual VpassTuner runs against the analytic block at each retention
+age: it measures the worst-page error count (MEE), computes the margin
+M = 0.8*C - MEE, and searches for the deepest safe Vpass.  Reproduction
+targets: reductions of roughly 4-6% at low ages, declining to fallback
+(no reduction) by three weeks, with the no-reduction RBER staying under
+the ECC capability line.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import VpassTuner
+from repro.ecc import DEFAULT_ECC
+from repro.model.lifetime import AnalyticTunableBlock
+from repro.units import days
+
+AGES = (0, 1, 2, 4, 7, 11, 14, 18, 21)
+
+
+def _schedule(model):
+    tuner = VpassTuner()
+    rows = []
+    for age in AGES:
+        block = AnalyticTunableBlock(model=model, pe_cycles=8000, age_seconds=days(age))
+        outcome = tuner.tune_after_refresh(block)
+        rber = model.rber(8000, days(age), 0, include_pass_through=False)
+        rows.append(
+            [
+                age,
+                f"{rber:.2e}",
+                outcome.mee,
+                outcome.margin,
+                f"{outcome.reduction_percent:.1f}%" if not outcome.fell_back else "none",
+            ]
+        )
+    return rows
+
+
+def bench_fig06_safe_vpass_reduction(benchmark, emit, model):
+    rows = benchmark.pedantic(lambda: _schedule(model), rounds=1, iterations=1)
+    cap = DEFAULT_ECC.tolerable_rber
+    table = format_table(
+        ["retention day", "RBER (no reduction)", "MEE", "margin M", "safe reduction"],
+        rows,
+        title=(
+            "Figure 6: tolerable Vpass reduction vs. retention age "
+            f"(ECC capability {cap:.2e}, 20% reserved)"
+        ),
+    )
+    emit("fig06_safe_reduction", table)
+
+    reductions = [r[4] for r in rows]
+    assert reductions[0] != "none" and float(reductions[0].rstrip("%")) >= 3.0
+    assert reductions[-1] == "none", "three-week-old data leaves no margin"
+    rbers = [float(r[1]) for r in rows]
+    assert rbers == sorted(rbers)
+    assert rbers[-1] < cap, "no-reduction RBER stays under the capability line"

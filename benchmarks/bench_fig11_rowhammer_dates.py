@@ -1,0 +1,50 @@
+"""Figure 11 (related work, Kim et al. ISCA 2014): RowHammer error rate
+vs. DRAM module manufacture date, for a 129-module fleet from three
+manufacturers.
+
+Reproduction targets: no errors before 2010, error rates climbing by
+orders of magnitude through 2014, and every post-2012 module vulnerable.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.dram import Manufacturer, hammer_test_error_rate, module_fleet
+
+
+def _fleet_summary():
+    fleet = module_fleet(129, seed=1)
+    rates = {spec: hammer_test_error_rate(spec, rows=2048, seed=2) for spec in fleet}
+    rows = []
+    for year in range(2008, 2015):
+        year_specs = [s for s in fleet if s.year == year]
+        if not year_specs:
+            continue
+        row = [year, len(year_specs)]
+        for mfr in Manufacturer:
+            r = [rates[s] for s in year_specs if s.manufacturer is mfr]
+            row.append(f"{np.median(r):.1e}" if r else "-")
+        vulnerable = sum(1 for s in year_specs if rates[s] > 0)
+        row.append(f"{vulnerable}/{len(year_specs)}")
+        rows.append(row)
+    total_vulnerable = sum(1 for s in fleet if rates[s] > 0)
+    return rows, total_vulnerable, rates
+
+
+def bench_fig11_rowhammer_error_rates(benchmark, emit):
+    rows, total_vulnerable, rates = benchmark.pedantic(_fleet_summary, rounds=1, iterations=1)
+    table = format_table(
+        ["year", "modules", "A median err/1e9", "B median", "C median", "vulnerable"],
+        rows,
+        title="Figure 11: RowHammer errors per 1e9 cells vs. manufacture date "
+        "(129 modules)",
+    )
+    table += f"\nvulnerable modules: {total_vulnerable}/129 (paper: 110/129)"
+    emit("fig11_rowhammer_dates", table)
+
+    by_year = {row[0]: row for row in rows}
+    assert all(row[-1].startswith("0/") for year, row in by_year.items() if year < 2010)
+    late = [r for s, r in rates.items() if s.year >= 2013 and r > 0]
+    early = [r for s, r in rates.items() if s.year == 2011 and r > 0]
+    assert np.median(late) > 30 * np.median(early), "orders-of-magnitude growth"
+    assert total_vulnerable >= 0.6 * 129

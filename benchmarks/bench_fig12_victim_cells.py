@@ -1,0 +1,57 @@
+"""Figure 12 (related work, Kim et al. ISCA 2014): distribution of victim
+cells per aggressor row for three representative modules.
+
+Reproduction targets: heavy-tailed distributions (log-scale row counts
+falling off with victim count), different shapes per module, tails past
+dozens of victims for vulnerable modules.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.dram import DramModuleSpec, DramModule, Manufacturer, victim_histogram
+
+#: The paper's three representative modules with their (selected, highly
+#: vulnerable) measured error rates pinned explicitly.
+MODULES = (
+    (DramModuleSpec(Manufacturer.A, 2012, 40, 23), 3.0e5),
+    (DramModuleSpec(Manufacturer.B, 2011, 46, 11), 8.0e4),
+    (DramModuleSpec(Manufacturer.C, 2012, 23, 19), 1.5e5),
+)
+BUCKETS = ((0, 0), (1, 5), (6, 20), (21, 60), (61, 120))
+
+
+def _histograms():
+    out = {}
+    for spec, rate in MODULES:
+        module = DramModule(
+            spec, rows=16384, cells_per_row=8192, seed=3, error_rate_override=rate
+        )
+        victims, counts = victim_histogram(module, max_victims=120)
+        out[spec.label] = (victims, counts, module.victims_per_row().max())
+    return out
+
+
+def bench_fig12_victims_per_row(benchmark, emit):
+    hists = benchmark.pedantic(_histograms, rounds=1, iterations=1)
+    rows = []
+    for lo, hi in BUCKETS:
+        row = [f"{lo}-{hi} victims"]
+        for label, (victims, counts, _max) in hists.items():
+            mask = (victims >= lo) & (victims <= hi)
+            row.append(int(counts[mask].sum()))
+        rows.append(row)
+    table = format_table(
+        ["victims/row"] + list(hists),
+        rows,
+        title="Figure 12: rows by victim-cell count, three representative modules",
+    )
+    table += "\nmax victims in one row: " + ", ".join(
+        f"{label}={mx}" for label, (_, _, mx) in hists.items()
+    )
+    emit("fig12_victim_cells", table)
+
+    for label, (victims, counts, mx) in hists.items():
+        total = counts.sum()
+        assert counts[0] > 0.3 * total, "most rows flip few or no cells"
+        assert mx > 20, f"{label}: heavy tail reaches past 20 victims"

@@ -1,0 +1,42 @@
+"""Benchmark harness support.
+
+Every bench regenerates one of the paper's figures (or an ablation),
+prints the series/table the paper plots, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can record paper-vs-measured.
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to watch the
+tables stream by).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.model import FlashChannelModel
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def model() -> FlashChannelModel:
+    """Full-resolution analytic model shared by the rate benches."""
+    return FlashChannelModel()
+
+
+@pytest.fixture(scope="session")
+def lifetime_model() -> FlashChannelModel:
+    """Coarser model for the endurance sweeps (hundreds of evaluations)."""
+    return FlashChannelModel(grid_points=700, leak_nodes=7)
+
+
+@pytest.fixture
+def emit():
+    """Print a figure's data and archive it to benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

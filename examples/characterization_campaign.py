@@ -1,0 +1,57 @@
+"""Reproduce the paper's characterization campaign (Section 2).
+
+Plays the role of the FPGA testbed: measures threshold-voltage
+distributions through read-retry sweeps before and after read disturb
+(Figure 2), fits the RBER-vs-reads slopes across wear levels (Figure 3),
+and sweeps Vpass relaxations against retention age (Figure 5).
+
+Run:  python examples/characterization_campaign.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.characterization import (
+    rber_vs_read_disturb,
+    relaxed_vpass_errors,
+    vth_shift_experiment,
+)
+from repro.flash import MlcState
+
+
+def figure2() -> None:
+    print("== Figure 2: threshold-voltage shift under read disturb ==")
+    snapshots = vth_shift_experiment(read_counts=(0, 250_000, 1_000_000), seed=1)
+    base = None
+    for snap in snapshots:
+        er = snap.voltages[snap.true_states == int(MlcState.ER)]
+        if base is None:
+            base = er.mean()
+        print(
+            f"  {snap.reads:>9,} reads: ER mean {er.mean():7.2f} "
+            f"(shift {er.mean() - base:+5.2f}), p99.9 {np.percentile(er, 99.9):7.1f}"
+        )
+
+
+def figure3() -> None:
+    print("\n== Figure 3: RBER slopes by P/E wear ==")
+    series = rber_vs_read_disturb(pe_values=(2000, 8000, 15000))
+    rows = [[s.pe_cycles, f"{s.slope:.2e}", f"{s.intercept:.2e}"] for s in series]
+    print(format_table(["P/E", "slope per read", "intercept"], rows))
+
+
+def figure5() -> None:
+    print("\n== Figure 5: extra errors from relaxed Vpass, by retention age ==")
+    vpass = np.array([480.0, 490.0, 500.0])
+    curves = relaxed_vpass_errors(retention_ages_days=(0, 6, 21), vpass_values=vpass)
+    rows = [
+        [f"{v:.0f}"] + [f"{curves[a][i]:.2e}" for a in (0, 6, 21)]
+        for i, v in enumerate(vpass)
+    ]
+    print(format_table(["Vpass", "0-day", "6-day", "21-day"], rows))
+
+
+if __name__ == "__main__":
+    figure2()
+    figure3()
+    figure5()

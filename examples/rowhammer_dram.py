@@ -1,0 +1,50 @@
+"""DRAM RowHammer, the read-disturb sibling (Section 5.2).
+
+Builds a module fleet like the 129 modules of Kim et al. (ISCA 2014),
+measures error rates by manufacture year, and hammers one vulnerable
+module's worst row.
+
+Run:  python examples/rowhammer_dram.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.dram import (
+    DramModule,
+    DramModuleSpec,
+    Manufacturer,
+    hammer_test_error_rate,
+    module_fleet,
+)
+from repro.dram.rowhammer import MIN_HAMMER_COUNT, STANDARD_HAMMER_COUNT
+
+
+def fleet_study() -> None:
+    print("== error rate by manufacture year (129-module fleet) ==")
+    fleet = module_fleet(129, seed=1)
+    rows = []
+    for year in range(2008, 2015):
+        specs = [s for s in fleet if s.year == year]
+        if not specs:
+            continue
+        rates = [hammer_test_error_rate(s, rows=1024, seed=2) for s in specs]
+        vulnerable = sum(1 for r in rates if r > 0)
+        median = np.median([r for r in rates if r > 0]) if vulnerable else 0.0
+        rows.append([year, len(specs), f"{vulnerable}/{len(specs)}", f"{median:.1e}"])
+    print(format_table(["year", "modules", "vulnerable", "median err/1e9"], rows))
+
+
+def hammer_one_module() -> None:
+    spec = DramModuleSpec(Manufacturer.A, 2013, 12, 0)
+    module = DramModule(spec, rows=8192, cells_per_row=4096, seed=5)
+    worst_row = int(np.argmax(module.victims_per_row()))
+    print(f"\n== hammering module {spec.label}, worst row {worst_row} ==")
+    for count in (MIN_HAMMER_COUNT // 2, MIN_HAMMER_COUNT, 1_000_000, STANDARD_HAMMER_COUNT):
+        flips = module.hammer(worst_row, count)
+        print(f"  {count:>9,} activations -> {flips} victim bit flips")
+
+
+if __name__ == "__main__":
+    fleet_study()
+    hammer_one_module()

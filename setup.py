@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no `wheel` package (and no
+network), so PEP 517 editable installs cannot build a wheel; this shim lets
+``pip install -e . --no-use-pep517`` fall back to the classic develop-mode
+install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Reproduction of "Read Disturb Errors in MLC NAND Flash Memory:
+Characterization, Mitigation, and Recovery" (Cai et al., DSN 2015).
+
+Public API re-exports: the simulated device (:class:`FlashChip`), the
+analytic channel model (:class:`FlashChannelModel`), and the paper's two
+mechanisms (:class:`VpassTuner`, :class:`ReadDisturbRecovery`).  See
+README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.units import VPASS_NOMINAL, days, hours
+from repro.rng import RngFactory
+from repro.flash import (
+    FlashChip,
+    FlashBlock,
+    FlashGeometry,
+    MlcState,
+    ReadReferences,
+)
+from repro.ecc import EccConfig, EccDecoder, DEFAULT_ECC, UncorrectableError
+from repro.model import (
+    FlashChannelModel,
+    BaselinePolicy,
+    TunedVpassPolicy,
+    endurance,
+    worst_case_rber,
+)
+from repro.core import (
+    VpassTuner,
+    TunerConfig,
+    TuningOutcome,
+    MonteCarloTunableBlock,
+    ReadDisturbRecovery,
+    RdrConfig,
+    RdrOutcome,
+    predict_worst_page,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VPASS_NOMINAL",
+    "days",
+    "hours",
+    "RngFactory",
+    "FlashChip",
+    "FlashBlock",
+    "FlashGeometry",
+    "MlcState",
+    "ReadReferences",
+    "EccConfig",
+    "EccDecoder",
+    "DEFAULT_ECC",
+    "UncorrectableError",
+    "FlashChannelModel",
+    "BaselinePolicy",
+    "TunedVpassPolicy",
+    "endurance",
+    "worst_case_rber",
+    "VpassTuner",
+    "TunerConfig",
+    "TuningOutcome",
+    "MonteCarloTunableBlock",
+    "ReadDisturbRecovery",
+    "RdrConfig",
+    "RdrOutcome",
+    "predict_worst_page",
+    "__version__",
+]

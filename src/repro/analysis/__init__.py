@@ -1,0 +1,54 @@
+"""Measurement and reporting utilities.
+
+These modules play the role of the paper's FPGA-based characterization
+infrastructure: read-retry threshold-voltage sweeps and histograms
+(:mod:`repro.analysis.histograms`), end-to-end experiment drivers
+(:mod:`repro.analysis.characterization`), slope fitting
+(:mod:`repro.analysis.fitting`), and table/series formatting for the
+benchmark harness (:mod:`repro.analysis.reporting`).
+
+The characterization drivers are re-exported lazily: they depend on
+:mod:`repro.core`, which itself uses the low-level helpers here, and the
+lazy hop keeps that a diamond instead of a cycle.
+"""
+
+from repro.analysis.histograms import (
+    quantized_voltages,
+    sweep_conducting_counts,
+    vth_histogram,
+    per_state_histograms,
+)
+from repro.analysis.fitting import linear_slope, relative_change
+from repro.analysis.reporting import format_table, format_series, write_csv
+
+_LAZY_CHARACTERIZATION = (
+    "VthSnapshot",
+    "vth_shift_experiment",
+    "RberSeries",
+    "rber_vs_read_disturb",
+    "vpass_sweep",
+    "relaxed_vpass_errors",
+    "RdrPoint",
+    "rdr_experiment",
+)
+
+__all__ = [
+    "quantized_voltages",
+    "sweep_conducting_counts",
+    "vth_histogram",
+    "per_state_histograms",
+    "linear_slope",
+    "relative_change",
+    "format_table",
+    "format_series",
+    "write_csv",
+    *_LAZY_CHARACTERIZATION,
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_CHARACTERIZATION:
+        from repro.analysis import characterization
+
+        return getattr(characterization, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,27 @@
+"""Curve fitting used when comparing against the paper's reported numbers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_slope(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Least-squares slope and intercept of y against x.
+
+    Used to reproduce the paper's Figure 3 slope table (RBER per read
+    disturb at each wear level).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need two same-length arrays with at least 2 points")
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+def relative_change(before: float, after: float) -> float:
+    """Relative change (after - before) / before; e.g. -0.36 for the
+    paper's 36% RDR reduction."""
+    if before == 0:
+        raise ValueError("relative change undefined for zero baseline")
+    return (after - before) / before

@@ -1,0 +1,103 @@
+"""Read-retry threshold-voltage measurement.
+
+Real chips expose no "read the threshold voltage" command; the paper
+measures Vth by sweeping the read-retry reference and recording, per cell,
+the first reference at which it conducts.  These helpers do exactly that
+against the simulated chip, producing the quantized per-cell voltages and
+the distribution histograms of Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.block import FlashBlock
+from repro.flash.state import MlcState
+
+
+def sweep_conducting_counts(
+    block: FlashBlock,
+    wordline: int,
+    thresholds: np.ndarray,
+    now: float = 0.0,
+    record_disturb: bool = True,
+) -> np.ndarray:
+    """For each cell, count how many sweep thresholds it conducts at.
+
+    A cell with voltage V conducts at every threshold >= V, so the count
+    directly encodes its quantized voltage.
+    """
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if thresholds.size == 0:
+        raise ValueError("sweep needs at least one threshold")
+    counts = np.zeros(block.geometry.bitlines_per_block, dtype=np.int64)
+    for threshold in thresholds:
+        conducting = block.threshold_read(
+            wordline, float(threshold), now, record_disturb=record_disturb
+        )
+        counts += conducting
+    return counts
+
+
+def quantized_voltages(
+    block: FlashBlock,
+    wordline: int,
+    lo: float = -40.0,
+    hi: float = 520.0,
+    step: float = 4.0,
+    now: float = 0.0,
+    record_disturb: bool = True,
+) -> np.ndarray:
+    """Per-cell threshold voltage measured by a read-retry sweep.
+
+    The result is quantized to *step* (the retry resolution): a cell whose
+    first conducting threshold is t is reported at t - step/2.  Cells that
+    never conduct are reported at ``hi + step/2``.
+    """
+    if step <= 0:
+        raise ValueError("sweep step must be positive")
+    if hi <= lo:
+        raise ValueError("sweep range must be non-empty")
+    thresholds = np.arange(lo, hi + step, step)
+    counts = sweep_conducting_counts(block, wordline, thresholds, now, record_disturb)
+    first_conducting_index = thresholds.size - counts
+    return lo + step * first_conducting_index - step / 2.0
+
+
+def vth_histogram(
+    voltages: np.ndarray,
+    lo: float = -40.0,
+    hi: float = 520.0,
+    bins: int = 140,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalized PDF histogram of measured voltages.
+
+    Returns ``(bin_centers, density)`` with density integrating to 1, the
+    format of the paper's Figure 2.
+    """
+    voltages = np.asarray(voltages, dtype=np.float64).ravel()
+    if voltages.size == 0:
+        raise ValueError("cannot histogram zero cells")
+    density, edges = np.histogram(voltages, bins=bins, range=(lo, hi), density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, density
+
+
+def per_state_histograms(
+    voltages: np.ndarray,
+    true_states: np.ndarray,
+    lo: float = -40.0,
+    hi: float = 520.0,
+    bins: int = 140,
+) -> dict[MlcState, tuple[np.ndarray, np.ndarray]]:
+    """One histogram per programmed state (ground-truth partitioned)."""
+    voltages = np.asarray(voltages, dtype=np.float64).ravel()
+    true_states = np.asarray(true_states, dtype=np.int64).ravel()
+    if voltages.shape != true_states.shape:
+        raise ValueError("voltages and states must align")
+    out: dict[MlcState, tuple[np.ndarray, np.ndarray]] = {}
+    for state in MlcState:
+        mask = true_states == int(state)
+        if mask.any():
+            out[state] = vth_histogram(voltages[mask], lo, hi, bins)
+    return out

@@ -1,0 +1,29 @@
+"""SSD controller substrate.
+
+The paper evaluates Vpass Tuning inside an SSD controller fed by real I/O
+traces.  This package provides that controller: a page-mapping flash
+translation layer with greedy garbage collection and wear leveling
+(:mod:`repro.controller.ftl`), the remapping-based refresh the paper's
+7-day interval relies on (:mod:`repro.controller.refresh`), the
+read-reclaim baseline mitigation (:mod:`repro.controller.read_reclaim`),
+and an SSD-level simulator that runs traces and produces the per-block read
+pressure the lifetime studies consume (:mod:`repro.controller.ssd`).
+"""
+
+from repro.controller.ftl import PageMappingFtl, SsdConfig, BlockState
+from repro.controller.refresh import RefreshScheduler
+from repro.controller.read_reclaim import ReadReclaimPolicy
+from repro.controller.ssd import SsdSimulator, SsdRunStats
+from repro.controller.stats import block_read_pressure, hottest_block_reads_per_day
+
+__all__ = [
+    "PageMappingFtl",
+    "SsdConfig",
+    "BlockState",
+    "RefreshScheduler",
+    "ReadReclaimPolicy",
+    "SsdSimulator",
+    "SsdRunStats",
+    "block_read_pressure",
+    "hottest_block_reads_per_day",
+]

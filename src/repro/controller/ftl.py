@@ -1,0 +1,245 @@
+"""Page-mapping flash translation layer.
+
+Implements the standard controller mapping between logical pages and
+physical flash pages: out-of-place writes into an open block, greedy
+garbage collection (victim = fewest valid pages), and wear-leveling block
+allocation (freest block with least wear).  The FTL tracks exactly the
+per-block quantities the paper's mechanisms consume: read counts since
+program (read disturb pressure), program timestamps (retention age and
+refresh due-dates), and P/E cycles (wear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+
+class BlockState(IntEnum):
+    FREE = 0
+    OPEN = 1
+    CLOSED = 2
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """Geometry and policy knobs of the simulated SSD."""
+
+    blocks: int = 256
+    pages_per_block: int = 256
+    page_size_bytes: int = 4096
+    #: fraction of physical space held back from the logical capacity.
+    overprovision: float = 0.07
+    #: GC runs when the free-block pool drops to this size.
+    gc_threshold_blocks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.blocks < 4 or self.pages_per_block < 1:
+            raise ValueError("SSD needs at least 4 blocks and 1 page/block")
+        if not 0.0 < self.overprovision < 0.5:
+            raise ValueError("overprovision must be in (0, 0.5)")
+        if self.gc_threshold_blocks < 1:
+            raise ValueError("GC threshold must be at least one block")
+        # Greedy GC only makes forward progress if, even with the free pool
+        # at its threshold and one open block, the closed blocks cannot all
+        # be 100% valid; otherwise every relocation is zero-gain and the
+        # drive livelocks.  Guarantee that structurally.
+        slack_blocks = self.blocks - self.gc_threshold_blocks - 1
+        if self.logical_pages > slack_blocks * self.pages_per_block:
+            raise ValueError(
+                "overprovisioning too small for the GC threshold: logical "
+                f"capacity {self.logical_pages} pages exceeds the "
+                f"{slack_blocks} blocks available outside the reserve"
+            )
+
+    @property
+    def physical_pages(self) -> int:
+        return self.blocks * self.pages_per_block
+
+    @property
+    def logical_pages(self) -> int:
+        """Host-visible capacity in pages."""
+        return int(self.physical_pages * (1.0 - self.overprovision))
+
+
+class GcStarvationError(RuntimeError):
+    """Raised when garbage collection cannot reclaim a block (drive full)."""
+
+
+class PageMappingFtl:
+    """The mapping engine of the simulated SSD controller."""
+
+    INVALID = -1
+
+    def __init__(self, config: SsdConfig | None = None):
+        self.config = config if config is not None else SsdConfig()
+        cfg = self.config
+        #: logical page -> physical page id (block * pages_per_block + page).
+        self.l2p = np.full(cfg.logical_pages, self.INVALID, dtype=np.int64)
+        #: physical page id -> logical page (or INVALID).
+        self.p2l = np.full(cfg.physical_pages, self.INVALID, dtype=np.int64)
+        self.valid_count = np.zeros(cfg.blocks, dtype=np.int64)
+        self.block_state = np.full(cfg.blocks, int(BlockState.FREE), dtype=np.int8)
+        self.pe_cycles = np.zeros(cfg.blocks, dtype=np.int64)
+        self.reads_since_program = np.zeros(cfg.blocks, dtype=np.int64)
+        self.program_time = np.zeros(cfg.blocks, dtype=np.float64)
+        self.write_pointer = np.zeros(cfg.blocks, dtype=np.int64)
+        self._free_blocks = list(range(cfg.blocks - 1, -1, -1))
+        self._active_block = self._allocate_block(0.0)
+        # Accounting.
+        self.host_writes = 0
+        self.flash_writes = 0
+        self.host_reads = 0
+        self.gc_runs = 0
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+
+    def read(self, lpn: int, now: float = 0.0) -> tuple[int, int] | None:
+        """Host read: returns the physical ``(block, page)`` or None when
+        the page was never written.  Counts read-disturb pressure."""
+        self._check_lpn(lpn)
+        self.host_reads += 1
+        ppn = self.l2p[lpn]
+        if ppn == self.INVALID:
+            return None
+        block, page = divmod(int(ppn), self.config.pages_per_block)
+        self.reads_since_program[block] += 1
+        return block, page
+
+    def write(self, lpn: int, now: float = 0.0) -> tuple[int, int]:
+        """Host write: out-of-place update, may trigger garbage collection."""
+        self._check_lpn(lpn)
+        self.host_writes += 1
+        block, page = self._append(lpn, now)
+        self._maybe_gc(now)
+        return block, page
+
+    # ------------------------------------------------------------------
+    # Internals shared with refresh / read reclaim
+    # ------------------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.config.logical_pages:
+            raise IndexError(f"logical page {lpn} out of range")
+
+    def _append(self, lpn: int, now: float) -> tuple[int, int]:
+        """Write *lpn* at the write pointer, invalidating any old copy."""
+        old = self.l2p[lpn]
+        if old != self.INVALID:
+            old_block = int(old) // self.config.pages_per_block
+            self.valid_count[old_block] -= 1
+            self.p2l[old] = self.INVALID
+
+        block = self._active_block
+        page = int(self.write_pointer[block])
+        ppn = block * self.config.pages_per_block + page
+        self.l2p[lpn] = ppn
+        self.p2l[ppn] = lpn
+        self.valid_count[block] += 1
+        self.write_pointer[block] += 1
+        self.flash_writes += 1
+        if self.write_pointer[block] == self.config.pages_per_block:
+            self.block_state[block] = int(BlockState.CLOSED)
+            self._active_block = self._allocate_block(now)
+        return block, page
+
+    def _allocate_block(self, now: float) -> int:
+        """Take the least-worn free block (wear leveling) and open it."""
+        if not self._free_blocks:
+            raise GcStarvationError("no free blocks available to open")
+        best_idx = min(
+            range(len(self._free_blocks)),
+            key=lambda i: self.pe_cycles[self._free_blocks[i]],
+        )
+        block = self._free_blocks.pop(best_idx)
+        self.block_state[block] = int(BlockState.OPEN)
+        self.write_pointer[block] = 0
+        self.reads_since_program[block] = 0
+        self.program_time[block] = now
+        return block
+
+    def _erase(self, block: int) -> None:
+        start = block * self.config.pages_per_block
+        self.p2l[start : start + self.config.pages_per_block] = self.INVALID
+        self.valid_count[block] = 0
+        self.block_state[block] = int(BlockState.FREE)
+        self.write_pointer[block] = 0
+        self.pe_cycles[block] += 1
+        self._free_blocks.append(block)
+
+    def _maybe_gc(self, now: float) -> None:
+        # Backstop against any GC livelock: a full sweep of the drive must
+        # grow the free pool; if it does not, the drive is genuinely full.
+        rounds = 0
+        while len(self._free_blocks) < self.config.gc_threshold_blocks:
+            self.collect_garbage(now)
+            rounds += 1
+            if rounds > 2 * self.config.blocks:
+                raise GcStarvationError(
+                    "garbage collection made no progress over a full sweep"
+                )
+
+    def collect_garbage(self, now: float) -> int:
+        """Greedy GC: relocate the closed block with fewest valid pages."""
+        closed = np.flatnonzero(self.block_state == int(BlockState.CLOSED))
+        if closed.size == 0:
+            raise GcStarvationError("no closed blocks to garbage-collect")
+        victim = int(closed[np.argmin(self.valid_count[closed])])
+        self.relocate_block(victim, now)
+        self.gc_runs += 1
+        return victim
+
+    def relocate_block(self, block: int, now: float) -> int:
+        """Move every valid page of *block* elsewhere, then erase it.
+
+        This is the shared primitive behind GC, remapping-based refresh,
+        and read reclaim.  Returns the number of pages moved.
+        """
+        if self.block_state[block] == int(BlockState.FREE):
+            raise ValueError(f"block {block} is free; nothing to relocate")
+        if block == self._active_block:
+            # Close the active block first so appends target a fresh one.
+            self.block_state[block] = int(BlockState.CLOSED)
+            self._active_block = self._allocate_block(now)
+        start = block * self.config.pages_per_block
+        lpns = self.p2l[start : start + self.config.pages_per_block]
+        moved = 0
+        for lpn in lpns[lpns != self.INVALID]:
+            self._append(int(lpn), now)
+            moved += 1
+        self._erase(block)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def write_amplification(self) -> float:
+        """Flash writes per host write (>= 1 once GC has run)."""
+        if self.host_writes == 0:
+            return 1.0
+        return self.flash_writes / self.host_writes
+
+    def blocks_with_valid_data(self) -> np.ndarray:
+        """Indices of blocks currently holding at least one valid page."""
+        return np.flatnonzero(self.valid_count > 0)
+
+    def check_invariants(self) -> None:
+        """Verify mapping consistency (used by tests and debug builds)."""
+        mapped = self.l2p[self.l2p != self.INVALID]
+        if mapped.size != np.unique(mapped).size:
+            raise AssertionError("two logical pages share a physical page")
+        for lpn in np.flatnonzero(self.l2p != self.INVALID)[:1000]:
+            ppn = self.l2p[lpn]
+            if self.p2l[ppn] != lpn:
+                raise AssertionError(f"l2p/p2l disagree for lpn {lpn}")
+        per_block_valid = np.bincount(
+            (mapped // self.config.pages_per_block), minlength=self.config.blocks
+        )
+        if not np.array_equal(per_block_valid, self.valid_count):
+            raise AssertionError("valid_count out of sync with mapping")

@@ -1,0 +1,45 @@
+"""Read reclaim: the industry-standard read-disturb mitigation baseline.
+
+Flash vendors bound read disturb by remapping a block's data once the
+block has absorbed a fixed number of reads (e.g. 50,000 for an MLC chip;
+paper Section 5, Yaffs and Ha et al.).  It is the mechanism Vpass Tuning
+is compared against and composed with: reclaim caps the disturb count per
+program cycle, Vpass Tuning shrinks the damage done by each read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controller.ftl import PageMappingFtl
+
+
+@dataclass
+class ReadReclaimPolicy:
+    """Relocate blocks whose read count exceeds a fixed threshold."""
+
+    threshold_reads: int = 50_000
+    reclaimed_blocks: int = 0
+    reclaimed_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threshold_reads < 1:
+            raise ValueError("read-reclaim threshold must be positive")
+
+    def due_blocks(self, ftl: PageMappingFtl) -> np.ndarray:
+        """Blocks that have absorbed more reads than the threshold."""
+        holding = ftl.blocks_with_valid_data()
+        return holding[ftl.reads_since_program[holding] >= self.threshold_reads]
+
+    def run(self, ftl: PageMappingFtl, now: float) -> list[int]:
+        """Reclaim every due block; returns the reclaimed block indices."""
+        reclaimed = []
+        for block in self.due_blocks(ftl):
+            if ftl.valid_count[block] == 0:
+                continue
+            self.reclaimed_pages += ftl.relocate_block(int(block), now)
+            self.reclaimed_blocks += 1
+            reclaimed.append(int(block))
+        return reclaimed

@@ -1,0 +1,53 @@
+"""Remapping-based refresh (Cai et al., ICCD 2012; paper Section 3).
+
+Every block holding valid data is rewritten to a fresh block once per
+refresh interval (seven days in the paper), clearing its accumulated
+retention and read-disturb errors.  Vpass Tuning's Action 2 (the full
+Vpass search) runs right after a block's refresh, when the error slate is
+clean and the unused ECC margin is largest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.units import SECONDS_PER_DAY
+from repro.controller.ftl import PageMappingFtl
+
+
+@dataclass
+class RefreshScheduler:
+    """Periodically relocates aged blocks."""
+
+    interval_days: float = 7.0
+    refreshed_blocks: int = 0
+    refreshed_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_days <= 0:
+            raise ValueError("refresh interval must be positive")
+
+    @property
+    def interval_seconds(self) -> float:
+        return self.interval_days * SECONDS_PER_DAY
+
+    def due_blocks(self, ftl: PageMappingFtl, now: float) -> np.ndarray:
+        """Blocks whose data is older than the refresh interval."""
+        holding = ftl.blocks_with_valid_data()
+        age = now - ftl.program_time[holding]
+        return holding[age >= self.interval_seconds]
+
+    def run(self, ftl: PageMappingFtl, now: float) -> list[int]:
+        """Refresh every due block; returns the refreshed block indices."""
+        refreshed = []
+        for block in self.due_blocks(ftl, now):
+            # The block may have been emptied by a relocation triggered for
+            # an earlier block in this same pass.
+            if ftl.valid_count[block] == 0:
+                continue
+            self.refreshed_pages += ftl.relocate_block(int(block), now)
+            self.refreshed_blocks += 1
+            refreshed.append(int(block))
+        return refreshed

@@ -1,0 +1,34 @@
+"""The paper's contributions.
+
+- :mod:`repro.core.vpass_tuning` — the online per-block pass-through-voltage
+  tuning mechanism (Section 3): discover the predicted worst-case page, read
+  its error count daily (MEE), compute the unused ECC margin, and walk Vpass
+  down/up in Δ steps until the extra pass-through errors just fit.
+- :mod:`repro.core.worst_page` — manufacturing-time worst-page prediction.
+- :mod:`repro.core.rdr` — Read Disturb Recovery (Section 4): induce extra
+  disturbs, classify disturb-prone vs. disturb-resistant cells from their
+  measured ΔVth, and probabilistically correct boundary cells.
+- :mod:`repro.core.classifier` — the ΔVref intersection classifier RDR uses.
+"""
+
+from repro.core.vpass_tuning import (
+    TunerConfig,
+    TuningOutcome,
+    VpassTuner,
+    MonteCarloTunableBlock,
+)
+from repro.core.worst_page import predict_worst_page
+from repro.core.rdr import ReadDisturbRecovery, RdrConfig, RdrOutcome
+from repro.core.classifier import intersection_threshold
+
+__all__ = [
+    "TunerConfig",
+    "TuningOutcome",
+    "VpassTuner",
+    "MonteCarloTunableBlock",
+    "predict_worst_page",
+    "ReadDisturbRecovery",
+    "RdrConfig",
+    "RdrOutcome",
+    "intersection_threshold",
+]

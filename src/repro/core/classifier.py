@@ -1,0 +1,51 @@
+"""Threshold selection for RDR's disturb-prone / disturb-resistant split.
+
+RDR compares each boundary cell's measured threshold-voltage shift against
+a delta threshold "at the intersection of the two probability density
+functions" (paper Section 4).  Given the measured shifts — a bimodal
+sample: large shifts from disturb-prone cells, near-zero shifts from
+disturb-resistant ones — Otsu's criterion (maximizing the between-class
+variance of the two-way split) recovers that intersection point without
+assuming parametric component shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def intersection_threshold(samples: np.ndarray, bins: int = 128) -> float:
+    """Split point between the two modes of a bimodal 1-D sample.
+
+    Returns the Otsu threshold: the cut that maximizes between-class
+    variance.  For well-separated modes this coincides with the PDF
+    intersection the paper describes.  Degenerate inputs (all values equal,
+    or fewer than two samples) return the sample midpoint.
+    """
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    if samples.size == 0:
+        raise ValueError("cannot pick a threshold from an empty sample")
+    lo = float(samples.min())
+    hi = float(samples.max())
+    if samples.size < 2 or hi - lo < 1e-12:
+        return 0.5 * (lo + hi)
+
+    counts, edges = np.histogram(samples, bins=bins, range=(lo, hi))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    total = counts.sum()
+
+    weights_low = np.cumsum(counts)
+    weights_high = total - weights_low
+    sums_low = np.cumsum(counts * centers)
+    total_sum = sums_low[-1]
+
+    valid = (weights_low > 0) & (weights_high > 0)
+    mean_low = np.where(valid, sums_low / np.maximum(weights_low, 1), 0.0)
+    mean_high = np.where(
+        valid, (total_sum - sums_low) / np.maximum(weights_high, 1), 0.0
+    )
+    between_var = weights_low * weights_high * (mean_low - mean_high) ** 2
+    between_var = np.where(valid, between_var, -np.inf)
+    best = int(np.argmax(between_var))
+    # The threshold sits at the upper edge of the chosen bin.
+    return float(edges[best + 1])

@@ -1,0 +1,190 @@
+"""Vpass Tuning: the paper's read-disturb mitigation mechanism (Section 3).
+
+Once a day, for each block holding valid data, the flash controller:
+
+1. reads the block's predicted worst-case page once and takes the
+   ECC-reported error count as the maximum estimated error (MEE);
+2. computes the available margin ``M = (1 - 0.2) * C - MEE``, where C is the
+   per-page ECC correction capability and 20% is reserved headroom;
+3. walks the block's pass-through voltage down in Δ steps (Step 1), after
+   each step counting the bits newly read as 0 — bitlines incorrectly
+   switched off — as N (Step 2); while ``N <= M`` it keeps reducing, and
+   once ``N > M`` it rolls Vpass back up until the check passes (Step 3).
+
+On days when the block was just refreshed (Action 2) the search restarts
+from nominal, because the accumulated retention and disturb errors were
+cleared; on other days (Action 1) the tuner only verifies the current
+Vpass and raises it if errors have grown into the margin.  If the margin is
+already negative, the mechanism falls back to nominal Vpass, which is
+always safe.
+
+The tuner runs against anything implementing the small ``TunableBlock``
+protocol; the package ships a Monte-Carlo implementation (wrapping
+:class:`repro.flash.block.FlashBlock`) and an analytic one used by the
+lifetime studies (:mod:`repro.model.lifetime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.units import VPASS_NOMINAL
+from repro.ecc import EccConfig, DEFAULT_ECC
+from repro.flash.block import FlashBlock
+from repro.core.worst_page import predict_worst_page
+
+
+class TunableBlock(Protocol):
+    """What Vpass Tuning needs from a block.
+
+    Real controllers get these observables from the chip's status output:
+    ECC-reported error counts and raw page reads at a candidate Vpass.
+    """
+
+    @property
+    def page_bits(self) -> int:
+        """Bits per page (sizing for ECC capability)."""
+
+    def measure_worst_page_errors(self) -> int:
+        """One read of the predicted worst-case page at nominal Vpass,
+        returning the ECC-reported raw error count (the MEE)."""
+
+    def measure_extra_errors(self, vpass: float) -> int:
+        """Read a page at candidate *vpass* and count the bits newly read
+        as 0 relative to the nominal-Vpass read (bitlines switched off)."""
+
+
+@dataclass(frozen=True)
+class TunerConfig:
+    """Vpass Tuning parameters."""
+
+    #: Δ — the smallest resolution by which Vpass can change (Step 1).
+    step: float = 2.0
+    #: hard floor; deeper relaxation than ~10% is never useful because the
+    #: P3 distribution body would cut off wholesale.
+    min_vpass: float = VPASS_NOMINAL * 0.90
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError("tuning step must be positive")
+        if not 0 < self.min_vpass < VPASS_NOMINAL:
+            raise ValueError("min_vpass must lie below nominal")
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """Result of one daily tuning pass on one block."""
+
+    vpass: float
+    mee: int
+    margin: int
+    extra_errors: int
+    fell_back: bool
+    measurements: int
+
+    @property
+    def reduction_percent(self) -> float:
+        """Vpass relaxation below nominal, in percent."""
+        return 100.0 * (1.0 - self.vpass / VPASS_NOMINAL)
+
+
+class VpassTuner:
+    """Online per-block Vpass tuning engine."""
+
+    def __init__(self, ecc: EccConfig = DEFAULT_ECC, config: TunerConfig | None = None):
+        self.ecc = ecc
+        self.config = config if config is not None else TunerConfig()
+
+    # ------------------------------------------------------------------
+
+    def available_margin(self, block: TunableBlock) -> tuple[int, int]:
+        """Measure MEE and return ``(mee, M)`` with M = 0.8*C - MEE."""
+        mee = int(block.measure_worst_page_errors())
+        usable = self.ecc.usable_capability_bits(block.page_bits)
+        return mee, usable - mee
+
+    def tune_after_refresh(self, block: TunableBlock) -> TuningOutcome:
+        """Action 2: full Vpass search, run right after a block refresh."""
+        return self._tune(block, start_vpass=VPASS_NOMINAL)
+
+    def verify_daily(self, block: TunableBlock, current_vpass: float) -> TuningOutcome:
+        """Action 1: daily check between refreshes.
+
+        Re-measures the margin and raises Vpass if the slowly-growing
+        retention and disturb errors have eaten into it; never lowers
+        Vpass further (that only happens after a refresh).
+        """
+        mee, margin = self.available_margin(block)
+        measurements = 1
+        if margin < 0:
+            return TuningOutcome(VPASS_NOMINAL, mee, margin, 0, True, measurements)
+        vpass = min(float(current_vpass), VPASS_NOMINAL)
+        extra = block.measure_extra_errors(vpass) if vpass < VPASS_NOMINAL else 0
+        measurements += 1 if vpass < VPASS_NOMINAL else 0
+        # Step 3 only: roll back up while the margin is exceeded.
+        while extra > margin and vpass < VPASS_NOMINAL:
+            vpass = min(vpass + self.config.step, VPASS_NOMINAL)
+            extra = block.measure_extra_errors(vpass) if vpass < VPASS_NOMINAL else 0
+            measurements += 1
+        return TuningOutcome(vpass, mee, margin, extra, False, measurements)
+
+    # ------------------------------------------------------------------
+
+    def _tune(self, block: TunableBlock, start_vpass: float) -> TuningOutcome:
+        mee, margin = self.available_margin(block)
+        measurements = 1
+        if margin < 0:
+            # Extreme case: errors already ate the reserved margin.  Fall
+            # back to nominal Vpass, which is always correct.
+            return TuningOutcome(VPASS_NOMINAL, mee, margin, 0, True, measurements)
+
+        vpass = float(start_vpass)
+        extra = 0
+        # Steps 1 and 2: aggressively reduce while errors fit the margin.
+        while vpass - self.config.step >= self.config.min_vpass:
+            candidate = vpass - self.config.step
+            n = block.measure_extra_errors(candidate)
+            measurements += 1
+            if n <= margin:
+                vpass = candidate
+                extra = n
+            else:
+                # Step 3: we went one step too deep; the last accepted vpass
+                # already verified N <= M, so roll back and stop.
+                break
+        return TuningOutcome(vpass, mee, margin, extra, False, measurements)
+
+
+class MonteCarloTunableBlock:
+    """Adapt a :class:`FlashBlock` to the ``TunableBlock`` protocol.
+
+    The worst page is predicted at construction (the manufacturing-time
+    procedure), after which the block can be aged, written, and read by the
+    experiment; tuning reads go through the normal read path and therefore
+    cost disturb like real reads would.
+    """
+
+    def __init__(self, block: FlashBlock, now: float = 0.0, characterize: bool = True):
+        self.block = block
+        self.now = now
+        self.worst_page = predict_worst_page(block, now) if characterize else 0
+        # Counting N uses an LSB page: cut-off bitlines force LSB bits to 0,
+        # which is the "number of 0's read from the page" of Step 2.
+        wordline = self.worst_page // 2
+        self._count_page = 2 * wordline
+
+    @property
+    def page_bits(self) -> int:
+        return self.block.geometry.bits_per_page
+
+    def measure_worst_page_errors(self) -> int:
+        return self.block.page_error_count(self.worst_page, self.now)
+
+    def measure_extra_errors(self, vpass: float) -> int:
+        nominal = self.block.read_page(self._count_page, self.now)
+        candidate = self.block.read_page(self._count_page, self.now, vpass=vpass)
+        newly_zero = (candidate == 0) & (nominal == 1)
+        return int(newly_zero.sum())

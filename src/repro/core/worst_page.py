@@ -1,0 +1,31 @@
+"""Manufacturing-time prediction of a block's worst-case page.
+
+Paper, Section 3: "After manufacturing, we statically find the predicted
+worst-case page by programming pseudo-randomly generated data to each page
+within the block, and then immediately reading the page to find the error
+count."  The page with the highest count is recorded; one daily read of it
+yields the maximum estimated error (MEE).
+"""
+
+from __future__ import annotations
+
+from repro.flash.block import FlashBlock
+
+
+def predict_worst_page(block: FlashBlock, now: float = 0.0) -> int:
+    """Program pseudo-random data and return the page with most raw errors.
+
+    The block is erased and re-programmed as part of the procedure (it runs
+    once, after manufacturing).  Measurement reads are excluded from
+    disturb accounting, as a factory characterization pass would be.
+    """
+    block.erase(now)
+    block.program_random(now)
+    worst_page = 0
+    worst_errors = -1
+    for page in range(block.geometry.pages_per_block):
+        errors = block.page_error_count(page, now, record_disturb=False)
+        if errors > worst_errors:
+            worst_errors = errors
+            worst_page = page
+    return worst_page

@@ -1,0 +1,26 @@
+"""DRAM read disturb (RowHammer) substrate.
+
+The paper's Section 5.2 reproduces two figures from Kim et al. (ISCA 2014):
+the RowHammer error rate of 129 DRAM modules against their manufacture
+date (Figure 11) and the distribution of victim cells per aggressor row
+for three representative modules (Figure 12).  This package models those
+module populations statistically so both figures can be regenerated; it is
+deliberately independent of the flash subsystem (the paper stresses the
+disturb *mechanisms* differ even though the phenomena rhyme).
+"""
+
+from repro.dram.module import DramModuleSpec, Manufacturer, module_fleet
+from repro.dram.rowhammer import (
+    DramModule,
+    hammer_test_error_rate,
+    victim_histogram,
+)
+
+__all__ = [
+    "DramModuleSpec",
+    "Manufacturer",
+    "module_fleet",
+    "DramModule",
+    "hammer_test_error_rate",
+    "victim_histogram",
+]

@@ -1,0 +1,105 @@
+"""DRAM module population model.
+
+Kim et al. (ISCA 2014) tested 129 modules from three major manufacturers
+(anonymized A, B, C) made between 2008 and 2014, finding no RowHammer
+errors in pre-2010 modules and rapidly growing error rates afterwards —
+the signature of process scaling shrinking cell-to-cell isolation.  We
+model a module's intrinsic vulnerability as zero before a
+manufacturer-specific onset date, then exponentially increasing with
+manufacture date, with large lognormal module-to-module variation (the
+3-decade within-year spread in their Figure 11 scatter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.rng import stream
+
+
+class Manufacturer(str, Enum):
+    A = "A"
+    B = "B"
+    C = "C"
+
+
+#: Vulnerability-onset year per manufacturer (first vulnerable modules in
+#: the ISCA 2014 data appear in 2010).
+_ONSET_YEAR = {Manufacturer.A: 2010.0, Manufacturer.B: 2010.5, Manufacturer.C: 2010.25}
+
+#: Error-rate growth per year after onset, in decades (log10 units).
+_GROWTH_DECADES_PER_YEAR = {Manufacturer.A: 1.6, Manufacturer.B: 1.3, Manufacturer.C: 1.5}
+
+#: Error rate (per 1e9 cells) of a median module one year past onset.
+_BASE_RATE = {Manufacturer.A: 30.0, Manufacturer.B: 8.0, Manufacturer.C: 15.0}
+
+#: Lognormal sigma (in decades) of module-to-module vulnerability spread.
+_MODULE_SPREAD_DECADES = 0.9
+
+
+@dataclass(frozen=True)
+class DramModuleSpec:
+    """Identity of one tested module, labeled as in the paper: X yyww n."""
+
+    manufacturer: Manufacturer
+    year: int
+    week: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 2008 <= self.year <= 2014:
+            raise ValueError("module year outside the studied 2008-2014 range")
+        if not 1 <= self.week <= 52:
+            raise ValueError("week of year must be 1..52")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``A12-40#23`` for year '12 week 40."""
+        return f"{self.manufacturer.value}{self.year % 100:02d}{self.week:02d}#{self.index}"
+
+    @property
+    def fractional_year(self) -> float:
+        return self.year + (self.week - 1) / 52.0
+
+    def median_error_rate(self) -> float:
+        """Median errors per 1e9 cells for this manufacture date (before
+        module-to-module variation)."""
+        onset = _ONSET_YEAR[self.manufacturer]
+        age = self.fractional_year - onset
+        if age <= 0:
+            return 0.0
+        growth = _GROWTH_DECADES_PER_YEAR[self.manufacturer]
+        return _BASE_RATE[self.manufacturer] * 10.0 ** (growth * (age - 1.0))
+
+    def sampled_error_rate(self, seed: int = 0) -> float:
+        """Module's actual vulnerability, with lognormal unit spread."""
+        median = self.median_error_rate()
+        if median == 0.0:
+            return 0.0
+        rng = stream(f"dram-module-{self.label}", seed)
+        spread = 10.0 ** rng.normal(0.0, _MODULE_SPREAD_DECADES)
+        return median * spread
+
+
+def module_fleet(count: int = 129, seed: int = 0) -> list[DramModuleSpec]:
+    """Generate a test fleet like the paper's 129 modules.
+
+    Manufacture dates concentrate in 2011-2013 (the bulk of the tested
+    population) with a thinner 2008-2010 prefix, mirroring the ISCA 2014
+    module table.
+    """
+    if count < 1:
+        raise ValueError("fleet needs at least one module")
+    rng = stream("dram-fleet", seed)
+    year_choices = np.array([2008, 2009, 2010, 2011, 2012, 2013, 2014])
+    year_weights = np.array([0.05, 0.06, 0.10, 0.22, 0.28, 0.22, 0.07])
+    fleet = []
+    for index in range(count):
+        manufacturer = Manufacturer(rng.choice(["A", "B", "C"], p=[0.4, 0.3, 0.3]))
+        year = int(rng.choice(year_choices, p=year_weights / year_weights.sum()))
+        week = int(rng.integers(1, 53))
+        fleet.append(DramModuleSpec(manufacturer, year, week, index))
+    return fleet

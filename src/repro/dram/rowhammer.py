@@ -1,0 +1,126 @@
+"""Row-level RowHammer simulation.
+
+A module is a grid of rows; repeatedly activating ("hammering") an
+aggressor row flips bits in its physically adjacent victim rows once the
+activation count crosses each victim cell's coupling threshold.  Victim
+counts per aggressor row are heavy-tailed — most rows flip a handful of
+cells, a few flip over a hundred (Kim et al., ISCA 2014, Figure 12 /
+this paper's Figure 12) — which we model as a Poisson-lognormal mixture
+whose intensity scales with the module's overall vulnerability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import stream
+from repro.dram.module import DramModuleSpec
+
+#: Activation count used by the paper's standard test procedure.
+STANDARD_HAMMER_COUNT = 2_200_000
+
+#: Activation threshold below which even vulnerable cells do not flip
+#: (the ISCA 2014 data shows first flips around 139K activations).
+MIN_HAMMER_COUNT = 139_000
+
+
+class DramModule:
+    """One simulated module: per-row RowHammer intensities."""
+
+    def __init__(
+        self,
+        spec: DramModuleSpec,
+        rows: int = 32768,
+        cells_per_row: int = 8192,
+        seed: int = 0,
+        error_rate_override: float | None = None,
+    ):
+        """``error_rate_override`` pins the module's vulnerability (errors
+        per 1e9 cells) instead of sampling it from the population model —
+        used to study specific modules, like the paper's three
+        representative (highly vulnerable) parts in Figure 12."""
+        if rows < 3 or cells_per_row < 1:
+            raise ValueError("module needs at least 3 rows and 1 cell per row")
+        if error_rate_override is not None and error_rate_override < 0:
+            raise ValueError("error rate override cannot be negative")
+        self.spec = spec
+        self.rows = rows
+        self.cells_per_row = cells_per_row
+        self._rng = stream(f"dram-rows-{spec.label}", seed)
+        total_cells = rows * cells_per_row
+        rate = (
+            error_rate_override
+            if error_rate_override is not None
+            else spec.sampled_error_rate(seed)
+        )
+        expected_victims = rate * total_cells / 1e9
+        # Heavy-tailed per-row intensity: lognormal with unit-normalized
+        # mean, scaled so the module-wide victim total matches its
+        # vulnerability.  sigma = 1.2 puts a visible tail past 100 victims
+        # for vulnerable modules, as in the paper's Figure 12.
+        sigma = 1.2
+        mean_per_row = expected_victims / rows
+        if mean_per_row > 0:
+            lam = mean_per_row * self._rng.lognormal(-0.5 * sigma**2, sigma, rows)
+            self._victims_per_row = self._rng.poisson(lam)
+        else:
+            self._victims_per_row = np.zeros(rows, dtype=np.int64)
+        self._victims_per_row = np.minimum(self._victims_per_row, cells_per_row)
+
+    def hammer(self, row: int, activations: int) -> int:
+        """Hammer *row*; return the number of victim-cell bit flips in the
+        adjacent rows.
+
+        Flips scale in the activation count past the minimum threshold,
+        saturating at the row's full victim population by the standard test
+        count.
+        """
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range")
+        if activations < 0:
+            raise ValueError("activation count cannot be negative")
+        if activations < MIN_HAMMER_COUNT:
+            return 0
+        full = int(self._victims_per_row[row])
+        span = STANDARD_HAMMER_COUNT - MIN_HAMMER_COUNT
+        fraction = min((activations - MIN_HAMMER_COUNT) / span, 1.0)
+        return int(round(full * fraction))
+
+    def victims_per_row(self) -> np.ndarray:
+        """Victim-cell count for each aggressor row at the standard test
+        count (the paper's Figure 12 raw data)."""
+        return self._victims_per_row.copy()
+
+    def total_victims(self) -> int:
+        """Module-wide victim cells at the standard test count."""
+        return int(self._victims_per_row.sum())
+
+    @property
+    def total_cells(self) -> int:
+        return self.rows * self.cells_per_row
+
+
+def hammer_test_error_rate(
+    spec: DramModuleSpec,
+    rows: int = 4096,
+    cells_per_row: int = 8192,
+    seed: int = 0,
+) -> float:
+    """Run the standard hammer test over a module; errors per 1e9 cells.
+
+    This is the measured counterpart of
+    :meth:`DramModuleSpec.sampled_error_rate` (it adds row-level sampling
+    noise, like a real test campaign).
+    """
+    module = DramModule(spec, rows=rows, cells_per_row=cells_per_row, seed=seed)
+    return module.total_victims() / module.total_cells * 1e9
+
+
+def victim_histogram(module: DramModule, max_victims: int = 120) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of victim cells per aggressor row (Figure 12 format).
+
+    Returns ``(victim_counts, row_counts)`` for 0..max_victims victims.
+    """
+    victims = np.minimum(module.victims_per_row(), max_victims)
+    counts = np.bincount(victims, minlength=max_victims + 1)
+    return np.arange(max_victims + 1), counts

@@ -1,0 +1,19 @@
+"""Error-correcting code model.
+
+The mechanisms in the paper only interact with ECC through two numbers:
+how many raw bit errors a codeword can correct, and how many errors a read
+actually contained.  A binomial threshold model captures this exactly; no
+Galois-field arithmetic is needed (and the paper's BCH internals are not
+part of its contribution).
+"""
+
+from repro.ecc.config import EccConfig, DEFAULT_ECC
+from repro.ecc.decoder import DecodeResult, EccDecoder, UncorrectableError
+
+__all__ = [
+    "EccConfig",
+    "DEFAULT_ECC",
+    "DecodeResult",
+    "EccDecoder",
+    "UncorrectableError",
+]

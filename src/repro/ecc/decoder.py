@@ -1,0 +1,70 @@
+"""Threshold ECC decoder model.
+
+Decoding succeeds (and reports the exact corrected-error count, as real
+controllers expose for wear tracking) whenever the raw error count is
+within the page capability; otherwise the read is uncorrectable — the
+condition RDR exists to repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecc.config import EccConfig, DEFAULT_ECC
+
+
+class UncorrectableError(Exception):
+    """Raised when a page read contains more errors than ECC can correct."""
+
+    def __init__(self, errors: int, capability: int):
+        super().__init__(
+            f"uncorrectable page: {errors} raw bit errors exceed ECC capability {capability}"
+        )
+        self.errors = errors
+        self.capability = capability
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one page."""
+
+    success: bool
+    raw_errors: int
+    capability: int
+
+    @property
+    def margin(self) -> int:
+        """Unused correction capability (negative when decoding failed)."""
+        return self.capability - self.raw_errors
+
+
+class EccDecoder:
+    """Decode pages by comparing raw reads against ground truth.
+
+    The simulator knows the programmed data, so the decoder counts raw
+    errors exactly; a real BCH decoder reports the same number on success.
+    """
+
+    def __init__(self, config: EccConfig = DEFAULT_ECC):
+        self.config = config
+
+    def decode(self, read_bits: np.ndarray, true_bits: np.ndarray) -> DecodeResult:
+        """Attempt to decode a raw page read.  Never raises; inspect
+        :attr:`DecodeResult.success`."""
+        read_bits = np.asarray(read_bits)
+        true_bits = np.asarray(true_bits)
+        if read_bits.shape != true_bits.shape:
+            raise ValueError("read and true bit arrays must have the same shape")
+        errors = int((read_bits != true_bits).sum())
+        capability = self.config.page_capability_bits(read_bits.size)
+        return DecodeResult(success=errors <= capability, raw_errors=errors, capability=capability)
+
+    def decode_or_raise(self, read_bits: np.ndarray, true_bits: np.ndarray) -> DecodeResult:
+        """Like :meth:`decode` but raises :class:`UncorrectableError` on
+        failure (the data-loss event of Section 4)."""
+        result = self.decode(read_bits, true_bits)
+        if not result.success:
+            raise UncorrectableError(result.raw_errors, result.capability)
+        return result

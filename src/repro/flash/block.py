@@ -1,0 +1,295 @@
+"""One flash block: the unit of erase, wear, and read disturb.
+
+All cells of a block share bitlines, so *every* read to any page of the
+block disturbs the cells of every other wordline.  The block tracks read
+disturb as an accumulated, Vpass-weighted *exposure* per wordline and
+materializes threshold voltages lazily (program voltage -> retention shift
+-> disturb drift), which makes bulk experiments ("apply one million reads")
+O(1) in bookkeeping and one vectorized pass at measurement time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import RngFactory
+from repro.units import VPASS_NOMINAL
+from repro.flash.cell_array import CellArray
+from repro.flash.errors import page_bits_from_states
+from repro.flash.geometry import FlashGeometry
+from repro.flash.sensing import DEFAULT_REFERENCES, ReadReferences, sense_page, sense_states
+from repro.flash.state import MlcState, states_from_bits
+from repro.physics.read_disturb import DEFAULT_READ_DISTURB, vpass_exposure_weight
+from repro.physics.retention import retained_voltage
+
+#: Above this Vpass no programmed cell can be cut off (program-verify bound
+#: plus slack for disturb drift of high cells), so sensing skips the
+#: expensive whole-block materialization.
+_CUTOFF_CHECK_VPASS = 505.0
+
+
+class FlashBlock:
+    """A single simulated MLC NAND flash block."""
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        rng_factory: RngFactory,
+        block_id: int = 0,
+    ):
+        self.geometry = geometry
+        self.block_id = block_id
+        self._rng = rng_factory.child(f"block-{block_id}").stream("cells")
+        self.cells = CellArray(geometry, self._rng)
+        self.disturb_model = DEFAULT_READ_DISTURB
+
+        #: program/erase cycles endured so far.
+        self.pe_cycles = 0
+        #: simulation time at which each wordline was last programmed.
+        self.program_time = np.zeros(geometry.wordlines_per_block, dtype=np.float64)
+        #: whether each wordline holds programmed data (vs. erased).
+        self.programmed = np.zeros(geometry.wordlines_per_block, dtype=bool)
+
+        # Read-disturb accounting: a read targeting wordline w disturbs all
+        # other wordlines, so exposure(w) = total - targeted(w).
+        self._total_exposure = 0.0
+        self._exposure_targeted = np.zeros(geometry.wordlines_per_block, dtype=np.float64)
+        self.total_reads = 0
+        self.reads_targeted = np.zeros(geometry.wordlines_per_block, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Lifecycle operations
+    # ------------------------------------------------------------------
+
+    def erase(self, now: float = 0.0) -> None:
+        """Erase the block; counts one P/E cycle and clears disturb history."""
+        self.pe_cycles += 1
+        self.cells.erase(self.pe_cycles, self._rng)
+        self.programmed[:] = False
+        self.program_time[:] = now
+        self._total_exposure = 0.0
+        self._exposure_targeted[:] = 0.0
+        self.total_reads = 0
+        self.reads_targeted[:] = 0
+
+    def cycle_wear_to(self, pe_cycles: int, now: float = 0.0) -> None:
+        """Fast-forward wear to *pe_cycles*, like the paper's wear-out loop.
+
+        The paper ages blocks by repeated program/erase with pseudo-random
+        data; simulating each cycle adds nothing (wear enters only through
+        the damage factors), so we jump the counter and erase once.
+        """
+        if pe_cycles < self.pe_cycles:
+            raise ValueError("wear cannot decrease")
+        self.pe_cycles = int(pe_cycles) - 1
+        self.erase(now)
+
+    def program_wordline_bits(
+        self,
+        wordline: int,
+        lsb_bits: np.ndarray,
+        msb_bits: np.ndarray,
+        now: float = 0.0,
+    ) -> None:
+        """Program both pages of a wordline with explicit bit arrays."""
+        if self.programmed[wordline]:
+            raise RuntimeError(
+                f"wordline {wordline} already programmed; erase the block first"
+            )
+        states = states_from_bits(lsb_bits, msb_bits)
+        self.cells.program_wordline(wordline, states, self.pe_cycles, self._rng)
+        self.programmed[wordline] = True
+        self.program_time[wordline] = now
+
+    def program_random(self, now: float = 0.0, rng: np.random.Generator | None = None) -> None:
+        """Program every wordline with pseudo-random data (paper's workload
+        for characterization experiments)."""
+        rng = rng if rng is not None else self._rng
+        bits = self.geometry.bitlines_per_block
+        for wordline in range(self.geometry.wordlines_per_block):
+            lsb = rng.integers(0, 2, bits, dtype=np.uint8)
+            msb = rng.integers(0, 2, bits, dtype=np.uint8)
+            self.program_wordline_bits(wordline, lsb, msb, now)
+
+    # ------------------------------------------------------------------
+    # Read disturb accounting
+    # ------------------------------------------------------------------
+
+    def disturb_exposure(self, wordline: int | None = None) -> np.ndarray | float:
+        """Vpass-weighted disturb exposure received by a wordline (or all)."""
+        if wordline is None:
+            return self._total_exposure - self._exposure_targeted
+        return self._total_exposure - float(self._exposure_targeted[wordline])
+
+    def record_read(self, wordline: int, vpass: float = VPASS_NOMINAL, count: int = 1) -> None:
+        """Account for *count* reads targeting *wordline* at *vpass*."""
+        if count < 0:
+            raise ValueError("read count cannot be negative")
+        weight = float(vpass_exposure_weight(vpass)) * count
+        self._total_exposure += weight
+        self._exposure_targeted[wordline] += weight
+        self.total_reads += count
+        self.reads_targeted[wordline] += count
+
+    def apply_read_disturb(
+        self,
+        reads: int,
+        vpass: float = VPASS_NOMINAL,
+        target_wordline: int | None = None,
+    ) -> None:
+        """Bulk-apply *reads* read operations.
+
+        With ``target_wordline`` the reads all hit that wordline (its own
+        cells are then *not* disturbed, as in the paper's setup where the
+        measured wordline is read and its neighbors absorb the disturb --
+        or vice versa).  Without it the reads spread uniformly over
+        wordlines.
+        """
+        if reads < 0:
+            raise ValueError("read count cannot be negative")
+        if target_wordline is not None:
+            self.record_read(target_wordline, vpass, reads)
+            return
+        weight = float(vpass_exposure_weight(vpass)) * reads
+        self._total_exposure += weight
+        self._exposure_targeted += weight / self.geometry.wordlines_per_block
+        self.total_reads += reads
+        # Integer bookkeeping: spread as evenly as possible.
+        per = reads // self.geometry.wordlines_per_block
+        self.reads_targeted += per
+
+    # ------------------------------------------------------------------
+    # Voltage materialization and sensing
+    # ------------------------------------------------------------------
+
+    def current_voltages(self, now: float, wordlines: np.ndarray | slice | None = None) -> np.ndarray:
+        """Materialize current threshold voltages: program value, then
+        retention loss, then read-disturb drift (see physics modules)."""
+        if wordlines is None:
+            wordlines = slice(None)
+        v0 = self.cells.v0[wordlines].astype(np.float64)
+        ages = np.maximum(now - self.program_time[wordlines], 0.0)
+        leak = self.cells.leak[wordlines].astype(np.float64)
+        v_ret = retained_voltage(v0, ages[..., None], self.pe_cycles, leak=leak)
+        exposure = (self._total_exposure - self._exposure_targeted[wordlines])[..., None]
+        susceptibility = self.cells.susceptibility[wordlines].astype(np.float64)
+        return self.disturb_model.drifted_voltage(
+            v_ret, exposure, susceptibility, self.pe_cycles
+        )
+
+    def _cutoff_mask(self, wordline: int, now: float, vpass: float) -> np.ndarray | None:
+        """Bitlines cut off when reading *wordline* at *vpass* (or None)."""
+        if vpass >= _CUTOFF_CHECK_VPASS:
+            return None
+        others = np.arange(self.geometry.wordlines_per_block) != wordline
+        voltages = self.current_voltages(now, others)
+        return (voltages > vpass).any(axis=0)
+
+    def read_page(
+        self,
+        page: int,
+        now: float = 0.0,
+        references: ReadReferences = DEFAULT_REFERENCES,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = True,
+    ) -> np.ndarray:
+        """Read one page; returns its bit array and disturbs the block."""
+        wordline, is_msb = self.geometry.page_to_wordline(page)
+        cutoff = self._cutoff_mask(wordline, now, vpass)
+        voltages = self.current_voltages(now, np.array([wordline]))[0]
+        bits = sense_page(voltages, is_msb, references, cutoff)
+        if record_disturb:
+            self.record_read(wordline, vpass)
+        return bits
+
+    def threshold_read(
+        self,
+        wordline: int,
+        threshold: float,
+        now: float = 0.0,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = True,
+    ) -> np.ndarray:
+        """Single-reference retry read: True where the cell conducts
+        (V <= threshold).  This is the primitive the paper's read-retry
+        threshold-voltage measurement is built from."""
+        cutoff = self._cutoff_mask(wordline, now, vpass)
+        voltages = self.current_voltages(now, np.array([wordline]))[0]
+        conducting = voltages <= threshold
+        if cutoff is not None:
+            conducting &= ~cutoff
+        if record_disturb:
+            self.record_read(wordline, vpass)
+        return conducting
+
+    def read_wordline_states(
+        self,
+        wordline: int,
+        now: float = 0.0,
+        references: ReadReferences = DEFAULT_REFERENCES,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = True,
+    ) -> np.ndarray:
+        """Full-state sense of one wordline (used by read-retry sweeps)."""
+        cutoff = self._cutoff_mask(wordline, now, vpass)
+        voltages = self.current_voltages(now, np.array([wordline]))[0]
+        states = sense_states(voltages, references, cutoff)
+        if record_disturb:
+            self.record_read(wordline, vpass)
+        return states
+
+    # ------------------------------------------------------------------
+    # Ground truth helpers (simulator-only; a real chip cannot do this)
+    # ------------------------------------------------------------------
+
+    def expected_page_bits(self, page: int) -> np.ndarray:
+        """Ground-truth bits of *page* as programmed."""
+        wordline, is_msb = self.geometry.page_to_wordline(page)
+        return page_bits_from_states(self.cells.true_states[wordline], is_msb)
+
+    def page_error_count(
+        self,
+        page: int,
+        now: float = 0.0,
+        references: ReadReferences = DEFAULT_REFERENCES,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = True,
+    ) -> int:
+        """Bit errors a read of *page* would return right now."""
+        bits = self.read_page(page, now, references, vpass, record_disturb)
+        return int((bits != self.expected_page_bits(page)).sum())
+
+    def measure_block_rber(
+        self,
+        now: float = 0.0,
+        references: ReadReferences = DEFAULT_REFERENCES,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = False,
+    ) -> float:
+        """RBER over all programmed pages (measurement reads are optionally
+        excluded from disturb accounting, like a characterization pass)."""
+        total_bits = 0
+        total_errors = 0
+        for wordline in range(self.geometry.wordlines_per_block):
+            if not self.programmed[wordline]:
+                continue
+            for is_msb in (False, True):
+                page = 2 * wordline + int(is_msb)
+                bits = self.read_page(page, now, references, vpass, record_disturb)
+                expected = self.expected_page_bits(page)
+                total_errors += int((bits != expected).sum())
+                total_bits += bits.size
+        if total_bits == 0:
+            raise RuntimeError("block has no programmed pages to measure")
+        return total_errors / total_bits
+
+    def true_states_of_wordline(self, wordline: int) -> np.ndarray:
+        """Programmed states of one wordline (ground truth)."""
+        return self.cells.true_states[wordline].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashBlock(id={self.block_id}, pe={self.pe_cycles}, "
+            f"reads={self.total_reads}, programmed={int(self.programmed.sum())}/"
+            f"{self.geometry.wordlines_per_block})"
+        )

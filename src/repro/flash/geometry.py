@@ -1,0 +1,89 @@
+"""Physical organization of the simulated NAND flash chip.
+
+The defaults are scaled down from a real 2Y-nm MLC die so Monte-Carlo
+experiments stay laptop-fast while keeping enough cells per block
+(wordlines x bitlines) for error-rate estimates at the 1e-4..1e-2 level the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Dimensions of one simulated flash chip.
+
+    Each block is a grid of ``wordlines x bitlines`` MLC cells.  Every
+    wordline stores two logical pages (LSB page and MSB page), so a block
+    holds ``2 * wordlines`` pages of ``bitlines`` bits each.  All cells of a
+    bitline within a block share one output line; reading any page drives
+    the pass-through voltage onto every *other* wordline of the block, which
+    is the root cause of read disturb.
+    """
+
+    blocks: int = 16
+    wordlines_per_block: int = 128
+    bitlines_per_block: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ValueError("geometry needs at least one block")
+        if self.wordlines_per_block < 2:
+            raise ValueError("read disturb needs at least two wordlines")
+        if self.bitlines_per_block < 1:
+            raise ValueError("geometry needs at least one bitline")
+
+    @property
+    def cells_per_block(self) -> int:
+        """Number of MLC cells in one block."""
+        return self.wordlines_per_block * self.bitlines_per_block
+
+    @property
+    def pages_per_block(self) -> int:
+        """Logical pages per block (two per wordline: LSB and MSB)."""
+        return 2 * self.wordlines_per_block
+
+    @property
+    def bits_per_page(self) -> int:
+        """Bits stored by one logical page."""
+        return self.bitlines_per_block
+
+    @property
+    def bits_per_block(self) -> int:
+        """Bits stored by one block (2 bits per cell)."""
+        return 2 * self.cells_per_block
+
+    @property
+    def total_cells(self) -> int:
+        """Cells in the whole chip."""
+        return self.blocks * self.cells_per_block
+
+    def page_to_wordline(self, page: int) -> tuple[int, bool]:
+        """Map a page index to ``(wordline, is_msb_page)``.
+
+        Pages are interleaved in the common MLC order: page ``2*w`` is the
+        LSB page of wordline ``w`` and page ``2*w + 1`` its MSB page.
+        """
+        if not 0 <= page < self.pages_per_block:
+            raise IndexError(f"page {page} out of range 0..{self.pages_per_block - 1}")
+        return page // 2, bool(page % 2)
+
+    def wordline_to_pages(self, wordline: int) -> tuple[int, int]:
+        """Return the (LSB page, MSB page) indices stored on *wordline*."""
+        if not 0 <= wordline < self.wordlines_per_block:
+            raise IndexError(
+                f"wordline {wordline} out of range 0..{self.wordlines_per_block - 1}"
+            )
+        return 2 * wordline, 2 * wordline + 1
+
+
+#: Geometry used by most tests: small but statistically meaningful.
+SMALL_GEOMETRY = FlashGeometry(blocks=4, wordlines_per_block=32, bitlines_per_block=1024)
+
+#: Geometry used by the characterization benches (1 wordline is measured but
+#: the whole block disturbs it, as in the paper's setup).
+CHARACTERIZATION_GEOMETRY = FlashGeometry(
+    blocks=10, wordlines_per_block=64, bitlines_per_block=8192
+)

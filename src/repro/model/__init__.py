@@ -1,0 +1,36 @@
+"""Analytic flash-channel model.
+
+Where the Monte-Carlo device layer (:mod:`repro.flash`) simulates individual
+cells, this package computes the *expected* raw bit error rate in closed
+form from the same physics: per-state distribution mass is propagated
+through the retention shift and the read-disturb drift law, using the fact
+that a cell crosses a read reference iff its susceptibility exceeds a
+deterministic requirement (so the susceptibility survival function gives
+exact crossing probabilities).
+
+The analytic layer is what makes lifetime studies tractable: evaluating the
+RBER of a block after a hundred thousand reads takes microseconds instead
+of simulating the reads.  Consistency between the two layers is enforced by
+integration tests.
+"""
+
+from repro.model.rber import FlashChannelModel, RberBreakdown
+from repro.model.lifetime import (
+    LifetimePolicy,
+    BaselinePolicy,
+    TunedVpassPolicy,
+    endurance,
+    worst_case_rber,
+    refresh_interval_series,
+)
+
+__all__ = [
+    "FlashChannelModel",
+    "RberBreakdown",
+    "LifetimePolicy",
+    "BaselinePolicy",
+    "TunedVpassPolicy",
+    "endurance",
+    "worst_case_rber",
+    "refresh_interval_series",
+]

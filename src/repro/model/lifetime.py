@@ -1,0 +1,248 @@
+"""Endurance and refresh-interval dynamics (paper Sections 3 and 6).
+
+Flash lifetime ends when the worst-case error count — at the end of a
+refresh interval, when retention and read-disturb errors peak — exceeds the
+ECC correction capability.  This module simulates one refresh interval
+day-by-day under a Vpass policy (baseline fixed-nominal, or the real
+VpassTuner running on an analytic block) and bisects over P/E cycles for
+the endurance: the highest wear at which the worst-case RBER still fits.
+
+The analytic flash-channel model makes this tractable: each day costs a few
+closed-form RBER evaluations instead of millions of simulated reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import SECONDS_PER_DAY, VPASS_NOMINAL, REFRESH_INTERVAL_DAYS
+from repro.ecc import EccConfig, DEFAULT_ECC
+from repro.core.vpass_tuning import TunerConfig, VpassTuner
+from repro.model.rber import FlashChannelModel
+from repro.physics.read_disturb import vpass_exposure_weight
+
+
+@dataclass
+class AnalyticTunableBlock:
+    """Analytic implementation of the ``TunableBlock`` protocol.
+
+    Represents the hottest block of a drive at a given wear level, with the
+    retention age and accumulated disturb exposure evolving as the lifetime
+    simulation advances through a refresh interval.
+    """
+
+    model: FlashChannelModel
+    ecc: EccConfig = field(default_factory=lambda: DEFAULT_ECC)
+    pe_cycles: float = 8000.0
+    page_bits_value: int = 65536
+    pages: int = 256
+    age_seconds: float = 0.0
+    exposure: float = 0.0
+
+    @property
+    def page_bits(self) -> int:
+        return self.page_bits_value
+
+    def measure_worst_page_errors(self) -> int:
+        """MEE: the worst page's error count among statistically identical
+        pages (Poisson upper quantile of the current expected RBER)."""
+        rber = self.model.rber_at_exposure(self.pe_cycles, self.age_seconds, self.exposure)
+        return self.ecc.expected_worst_page_errors(rber, self.page_bits_value, self.pages)
+
+    def measure_extra_errors(self, vpass: float) -> int:
+        """Expected newly-zero bits when reading a page at *vpass*."""
+        extra = self.model.additional_pass_through_rber(
+            vpass, self.pe_cycles, self.age_seconds
+        )
+        return int(round(extra * self.page_bits_value))
+
+
+class LifetimePolicy:
+    """Chooses the block's operating Vpass for each day of an interval."""
+
+    def start_interval(self, block: AnalyticTunableBlock) -> None:
+        """Called at the start of each refresh interval (data just moved)."""
+
+    def vpass_for_day(self, block: AnalyticTunableBlock, day: int) -> float:
+        raise NotImplementedError
+
+
+class BaselinePolicy(LifetimePolicy):
+    """No mitigation: nominal Vpass every day."""
+
+    def vpass_for_day(self, block: AnalyticTunableBlock, day: int) -> float:
+        return VPASS_NOMINAL
+
+
+class TunedVpassPolicy(LifetimePolicy):
+    """Run the actual VpassTuner daily, exactly as the controller would:
+    a full search after each refresh (Action 2) and a verify-and-raise pass
+    on the other days (Action 1)."""
+
+    def __init__(self, tuner: VpassTuner | None = None):
+        self.tuner = tuner if tuner is not None else VpassTuner()
+        self.current_vpass = VPASS_NOMINAL
+        self.outcomes: list = []
+
+    def start_interval(self, block: AnalyticTunableBlock) -> None:
+        self.current_vpass = VPASS_NOMINAL
+        self.outcomes = []
+
+    def vpass_for_day(self, block: AnalyticTunableBlock, day: int) -> float:
+        if day == 0:
+            outcome = self.tuner.tune_after_refresh(block)
+        else:
+            outcome = self.tuner.verify_daily(block, self.current_vpass)
+        self.current_vpass = outcome.vpass
+        self.outcomes.append(outcome)
+        return outcome.vpass
+
+
+@dataclass(frozen=True)
+class DayRecord:
+    """State of the hottest block at the end of one day."""
+
+    day: int
+    vpass: float
+    rber_end_of_day: float
+    exposure: float
+
+
+def simulate_refresh_interval(
+    model: FlashChannelModel,
+    pe_cycles: float,
+    reads_per_day: float,
+    policy: LifetimePolicy,
+    interval_days: float = REFRESH_INTERVAL_DAYS,
+    ecc: EccConfig = DEFAULT_ECC,
+    page_bits: int = 65536,
+    pages: int = 256,
+) -> list[DayRecord]:
+    """Simulate one refresh interval day-by-day and return daily records.
+
+    ``reads_per_day`` is the read pressure on the hottest block (reads to
+    its pages per day); every read disturbs the block at the policy's
+    chosen Vpass for that day.
+    """
+    if reads_per_day < 0:
+        raise ValueError("reads per day cannot be negative")
+    block = AnalyticTunableBlock(
+        model=model,
+        ecc=ecc,
+        pe_cycles=pe_cycles,
+        page_bits_value=page_bits,
+        pages=pages,
+    )
+    policy.start_interval(block)
+    records: list[DayRecord] = []
+    for day in range(int(interval_days)):
+        vpass = policy.vpass_for_day(block, day)
+        block.exposure += reads_per_day * float(vpass_exposure_weight(vpass))
+        block.age_seconds = (day + 1) * SECONDS_PER_DAY
+        rber = model.rber_at_exposure(
+            pe_cycles,
+            block.age_seconds,
+            block.exposure,
+            pass_through_vpass=vpass,
+        )
+        records.append(DayRecord(day=day, vpass=vpass, rber_end_of_day=rber, exposure=block.exposure))
+    return records
+
+
+def worst_case_rber(
+    model: FlashChannelModel,
+    pe_cycles: float,
+    reads_per_day: float,
+    policy: LifetimePolicy,
+    interval_days: float = REFRESH_INTERVAL_DAYS,
+    ecc: EccConfig = DEFAULT_ECC,
+    page_bits: int = 65536,
+    pages: int = 256,
+) -> float:
+    """Peak RBER across the refresh interval (normally its last day)."""
+    records = simulate_refresh_interval(
+        model, pe_cycles, reads_per_day, policy, interval_days, ecc, page_bits, pages
+    )
+    return max(r.rber_end_of_day for r in records)
+
+
+def endurance(
+    model: FlashChannelModel,
+    reads_per_day: float,
+    policy_factory,
+    rber_limit: float | None = None,
+    interval_days: float = REFRESH_INTERVAL_DAYS,
+    ecc: EccConfig = DEFAULT_ECC,
+    pe_resolution: int = 50,
+    pe_min: int = 200,
+    pe_max: int = 40000,
+    page_bits: int = 65536,
+    pages: int = 256,
+) -> int:
+    """P/E cycle endurance: the highest wear whose worst-case interval RBER
+    stays within the ECC limit (paper Figure 8's y-axis).
+
+    ``policy_factory`` is a zero-argument callable returning a fresh policy
+    (policies are stateful across the days of an interval).
+    """
+    limit = ecc.tolerable_rber if rber_limit is None else float(rber_limit)
+
+    def fits(pe: int) -> bool:
+        policy = policy_factory()
+        return (
+            worst_case_rber(
+                model, pe, reads_per_day, policy, interval_days, ecc, page_bits, pages
+            )
+            <= limit
+        )
+
+    lo, hi = pe_min, pe_max
+    if not fits(lo):
+        return 0
+    if fits(hi):
+        return hi
+    # Invariant: fits(lo) and not fits(hi).
+    while hi - lo > pe_resolution:
+        mid = (lo + hi) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def refresh_interval_series(
+    model: FlashChannelModel,
+    pe_cycles: float,
+    reads_per_day: float,
+    intervals: int = 3,
+    interval_days: float = REFRESH_INTERVAL_DAYS,
+    tuner_config: TunerConfig | None = None,
+) -> dict[str, list[float]]:
+    """Error-rate timeline over several refresh intervals, with and without
+    mitigation (paper Figure 7).
+
+    Returns day-indexed series; the error rate excludes the read errors
+    introduced by reducing Vpass, as the figure's caption specifies (those
+    are absorbed by the unused ECC margin).
+    """
+    out: dict[str, list[float]] = {"day": [], "unmitigated": [], "mitigated": []}
+    tuned = TunedVpassPolicy(VpassTuner(config=tuner_config) if tuner_config else None)
+    baseline = BaselinePolicy()
+    for interval in range(intervals):
+        base_records = simulate_refresh_interval(
+            model, pe_cycles, reads_per_day, baseline, interval_days
+        )
+        tuned_block = AnalyticTunableBlock(model=model, pe_cycles=pe_cycles)
+        tuned.start_interval(tuned_block)
+        for day in range(int(interval_days)):
+            vpass = tuned.vpass_for_day(tuned_block, day)
+            tuned_block.exposure += reads_per_day * float(vpass_exposure_weight(vpass))
+            tuned_block.age_seconds = (day + 1) * SECONDS_PER_DAY
+            mitigated = model.rber_at_exposure(
+                pe_cycles, tuned_block.age_seconds, tuned_block.exposure
+            )
+            out["day"].append(interval * interval_days + day + 1)
+            out["unmitigated"].append(base_records[day].rber_end_of_day)
+            out["mitigated"].append(mitigated)
+    return out

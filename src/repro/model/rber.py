@@ -1,0 +1,252 @@
+"""Closed-form expected RBER under wear, retention, and read disturb.
+
+The model integrates, for each MLC state, the programmed-voltage
+distribution through:
+
+1. the retention shift (deterministic given the programmed voltage), and
+2. the read-disturb drift, whose crossing probabilities are exact because
+   drift is monotone in the per-cell susceptibility:
+   P[V(n) > Vref] = S(a_required(v0, Vref, n)) with S the susceptibility
+   survival function.
+
+The result is the full 4x4 state-misread matrix, converted to a raw bit
+error rate through the gray-code bit-distance table.  Pass-through errors
+(bitline cutoff from relaxed Vpass) are a separate additive term because
+the paper measures them separately (Figure 4 emulates Vpass via Vref and
+therefore sees no pass-through errors; Figure 5 measures only the
+pass-through term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.units import VPASS_NOMINAL
+from repro.flash.state import MlcState, STATE_ORDER, bit_errors_between
+from repro.physics import constants
+from repro.physics.distributions import state_distribution
+from repro.physics.pass_through import PassThroughModel
+from repro.physics.read_disturb import (
+    DEFAULT_READ_DISTURB,
+    ReadDisturbModel,
+    vpass_exposure_weight,
+)
+from repro.physics.program import program_error_rber
+from repro.physics.retention import leak_quadrature, retained_voltage
+from repro.physics.susceptibility import DEFAULT_SUSCEPTIBILITY, SusceptibilityModel
+
+#: bit cost of misreading state i as state j (0, 1, or 2 bit errors).
+_BIT_COST = np.array(
+    [[bit_errors_between(np.array([i]), np.array([j]))[0] for j in range(4)] for i in range(4)],
+    dtype=np.float64,
+)
+
+
+@dataclass(frozen=True)
+class RberBreakdown:
+    """Decomposition of the expected RBER into its mechanisms."""
+
+    total: float
+    baseline: float
+    retention: float
+    read_disturb: float
+    pass_through: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "total": self.total,
+            "baseline": self.baseline,
+            "retention": self.retention,
+            "read_disturb": self.read_disturb,
+            "pass_through": self.pass_through,
+        }
+
+
+@dataclass
+class FlashChannelModel:
+    """Analytic expected-RBER model for one flash block.
+
+    Parameters mirror the Monte-Carlo device layer so the two stay
+    consistent: the same read references, state distributions,
+    susceptibility mixture, and drift constants.
+    """
+
+    references: tuple[float, float, float] = constants.READ_REFERENCES
+    state_fractions: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25)
+    wordlines_per_block: int = 128
+    grid_points: int = 1600
+    leak_nodes: int = 9
+    susceptibility: SusceptibilityModel = field(default_factory=lambda: DEFAULT_SUSCEPTIBILITY)
+    disturb: ReadDisturbModel = field(default_factory=lambda: DEFAULT_READ_DISTURB)
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.state_fractions) - 1.0) > 1e-9:
+            raise ValueError("state fractions must sum to 1")
+        if list(self.references) != sorted(self.references):
+            raise ValueError("read references must be increasing")
+        if self.leak_nodes < 1:
+            raise ValueError("need at least one leak quadrature node")
+        self._pass_through = PassThroughModel(
+            wordlines_per_block=self.wordlines_per_block,
+            state_fractions=self.state_fractions,
+        )
+        self._leak_nodes, self._leak_weights = leak_quadrature(self.leak_nodes)
+
+    # ------------------------------------------------------------------
+    # Core computation
+    # ------------------------------------------------------------------
+
+    def _state_grid(self, state: MlcState, pe_cycles: float) -> tuple[np.ndarray, np.ndarray]:
+        """Return (midpoints, probability masses) covering the state's
+        programmed-voltage distribution, tails included."""
+        dist = state_distribution(state, pe_cycles)
+        span = 14.0 * dist.sigma + 9.0 * max(dist.scale_low, dist.scale_high)
+        lo = dist.mu - span
+        hi = min(dist.mu + span, constants.PROGRAM_VERIFY_MAX)
+        edges = np.linspace(lo, hi, self.grid_points + 1)
+        cdf = dist.cdf(edges)
+        masses = np.diff(cdf)
+        # Attribute the residual tail mass below the grid to the lowest cell.
+        masses[0] += cdf[0]
+        mids = 0.5 * (edges[:-1] + edges[1:])
+        return mids, masses
+
+    def exposure(self, reads: float, vpass: float = VPASS_NOMINAL) -> float:
+        """Vpass-weighted disturb exposure of *reads* read operations."""
+        if reads < 0:
+            raise ValueError("read count cannot be negative")
+        return float(reads) * float(vpass_exposure_weight(vpass))
+
+    def misread_matrix(
+        self,
+        pe_cycles: float,
+        retention_age_seconds: float = 0.0,
+        disturb_exposure: float = 0.0,
+    ) -> np.ndarray:
+        """4x4 matrix M[i, j] = P[cell programmed to state i is sensed as j].
+
+        ``disturb_exposure`` is the Vpass-weighted read count received by
+        the cell's wordline (see :func:`exposure`).
+        """
+        matrix = np.zeros((4, 4), dtype=np.float64)
+        refs = np.asarray(self.references, dtype=np.float64)
+        # Retention heterogeneity: integrate over the per-cell leak factor
+        # with Gauss-Hermite quadrature (a single unit node when no time has
+        # passed, since leak is then irrelevant).
+        if retention_age_seconds > 0.0:
+            leaks, weights = self._leak_nodes, self._leak_weights
+        else:
+            leaks, weights = np.array([1.0]), np.array([1.0])
+        for i, state in enumerate(STATE_ORDER):
+            v0, mass = self._state_grid(state, pe_cycles)
+            sensed_probs = np.zeros((4, v0.size), dtype=np.float64)
+            for leak, weight in zip(leaks, weights):
+                v_ret = retained_voltage(v0, retention_age_seconds, pe_cycles, leak=leak)
+                # P[final voltage above each reference], exact (given leak)
+                # via susceptibility survival at the required level.
+                above = np.empty((3, v0.size), dtype=np.float64)
+                for j, ref in enumerate(refs):
+                    a_req = self.disturb.required_susceptibility(
+                        v_ret, float(ref), disturb_exposure, pe_cycles
+                    )
+                    above[j] = self.susceptibility.survival(a_req)
+                # Monotonicity guard (references are increasing).
+                above = np.minimum.accumulate(above, axis=0)
+                sensed_probs[0] += weight * (1.0 - above[0])
+                sensed_probs[1] += weight * (above[0] - above[1])
+                sensed_probs[2] += weight * (above[1] - above[2])
+                sensed_probs[3] += weight * above[2]
+            matrix[i] = sensed_probs @ mass
+        return matrix
+
+    def rber(
+        self,
+        pe_cycles: float,
+        retention_age_seconds: float = 0.0,
+        reads: float = 0.0,
+        vpass: float = VPASS_NOMINAL,
+        include_pass_through: bool = True,
+        vpass_emulated_via_vref: bool = False,
+    ) -> float:
+        """Expected raw bit error rate of a page in the modeled block.
+
+        ``vpass_emulated_via_vref`` reproduces the paper's characterization
+        methodology (Section 2): real chips expose no Vpass knob, so the
+        authors emulate a changed Vpass through the read-retry Vref.  In
+        that mode the disturb reduction is real but no pass-through errors
+        can occur.
+        """
+        exposure = self.exposure(reads, vpass)
+        matrix = self.misread_matrix(pe_cycles, retention_age_seconds, exposure)
+        fractions = np.asarray(self.state_fractions, dtype=np.float64)
+        state_bit_errors = float(fractions @ (matrix * _BIT_COST).sum(axis=1))
+        rber = state_bit_errors / 2.0  # two bits per cell
+        rber += program_error_rber(pe_cycles)
+        if include_pass_through and not vpass_emulated_via_vref:
+            rber += self._pass_through.additional_rber(
+                vpass, pe_cycles, retention_age_seconds
+            )
+        return rber
+
+    def rber_at_exposure(
+        self,
+        pe_cycles: float,
+        retention_age_seconds: float = 0.0,
+        disturb_exposure: float = 0.0,
+        pass_through_vpass: float | None = None,
+    ) -> float:
+        """Expected RBER given an accumulated disturb exposure.
+
+        Lifetime studies accumulate exposure across days with varying Vpass
+        (the tuner changes it daily); this entry point takes the exposure
+        directly instead of a (reads, vpass) pair.  If
+        ``pass_through_vpass`` is given, the pass-through error term for a
+        read performed at that Vpass is added.
+        """
+        matrix = self.misread_matrix(pe_cycles, retention_age_seconds, disturb_exposure)
+        fractions = np.asarray(self.state_fractions, dtype=np.float64)
+        rber = float(fractions @ (matrix * _BIT_COST).sum(axis=1)) / 2.0
+        rber += program_error_rber(pe_cycles)
+        if pass_through_vpass is not None:
+            rber += self._pass_through.additional_rber(
+                pass_through_vpass, pe_cycles, retention_age_seconds
+            )
+        return rber
+
+    def rber_breakdown(
+        self,
+        pe_cycles: float,
+        retention_age_seconds: float = 0.0,
+        reads: float = 0.0,
+        vpass: float = VPASS_NOMINAL,
+    ) -> RberBreakdown:
+        """Split the expected RBER into baseline / retention / disturb /
+        pass-through contributions (each measured incrementally)."""
+        base = self.rber(pe_cycles, 0.0, 0.0, VPASS_NOMINAL, include_pass_through=False)
+        with_ret = self.rber(
+            pe_cycles, retention_age_seconds, 0.0, VPASS_NOMINAL, include_pass_through=False
+        )
+        with_rd = self.rber(
+            pe_cycles, retention_age_seconds, reads, vpass, include_pass_through=False
+        )
+        pass_through = self._pass_through.additional_rber(
+            vpass, pe_cycles, retention_age_seconds
+        )
+        return RberBreakdown(
+            total=with_rd + pass_through,
+            baseline=base,
+            retention=with_ret - base,
+            read_disturb=with_rd - with_ret,
+            pass_through=pass_through,
+        )
+
+    def additional_pass_through_rber(
+        self,
+        vpass: float,
+        pe_cycles: float,
+        retention_age_seconds: float = 0.0,
+    ) -> float:
+        """Extra RBER from reading at *vpass* (Figure 5's quantity)."""
+        return self._pass_through.additional_rber(vpass, pe_cycles, retention_age_seconds)

@@ -1,0 +1,75 @@
+"""Device-physics models for the simulated 2Y-nm MLC NAND flash chip.
+
+Every stochastic law the paper measures on real silicon is modeled here:
+
+- per-state threshold-voltage distributions (normal body + asymmetric
+  Laplace tails, truncated by program-verify), widened and shifted by
+  program/erase wear (:mod:`repro.physics.distributions`,
+  :mod:`repro.physics.wear`);
+- read-disturb drift: a self-limiting exponential-field law with per-cell
+  process-variation susceptibility whose heavy (Pareto) tail produces the
+  paper's linear RBER-vs-read-count growth
+  (:mod:`repro.physics.read_disturb`, :mod:`repro.physics.susceptibility`);
+- retention leakage, logarithmic in time and proportional to stored charge
+  (:mod:`repro.physics.retention`);
+- pass-through (bitline cutoff) errors induced by relaxing Vpass
+  (:mod:`repro.physics.pass_through`).
+
+All constants live in :mod:`repro.physics.constants` and are calibrated so
+the paper's published curves (Figure 3 slope table, Figure 4 crossovers,
+Figure 5/6 retention interplay) emerge from the model.
+"""
+
+from repro.physics import constants
+from repro.physics.distributions import (
+    AsymmetricLaplace,
+    NormalLaplaceMixture,
+    StateParams,
+    state_distribution,
+)
+from repro.physics.wear import (
+    read_disturb_damage,
+    retention_damage,
+    sigma_widening,
+    mean_creep,
+)
+from repro.physics.susceptibility import SusceptibilityModel
+from repro.physics.read_disturb import ReadDisturbModel
+from repro.physics.retention import (
+    retention_shift,
+    retained_voltage,
+    retention_threshold_inverse,
+    sample_leak_factors,
+    leak_cdf,
+    leak_quadrature,
+)
+from repro.physics.program import (
+    program_error_rate,
+    program_error_rber,
+    apply_program_errors,
+)
+from repro.physics.pass_through import PassThroughModel
+
+__all__ = [
+    "constants",
+    "AsymmetricLaplace",
+    "NormalLaplaceMixture",
+    "StateParams",
+    "state_distribution",
+    "read_disturb_damage",
+    "retention_damage",
+    "sigma_widening",
+    "mean_creep",
+    "SusceptibilityModel",
+    "ReadDisturbModel",
+    "retention_shift",
+    "retained_voltage",
+    "retention_threshold_inverse",
+    "sample_leak_factors",
+    "leak_cdf",
+    "leak_quadrature",
+    "program_error_rate",
+    "program_error_rber",
+    "apply_program_errors",
+    "PassThroughModel",
+]

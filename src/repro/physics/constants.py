@@ -1,0 +1,152 @@
+"""Calibrated physical constants of the simulated flash device.
+
+The paper's chips are proprietary, so absolute constants cannot be copied
+from silicon.  Instead, every constant here is calibrated so that the
+*published* observables emerge (see DESIGN.md section 5):
+
+- the Figure 3 slope table (RBER slope 1.00e-9 .. 1.90e-8 per read for
+  2K .. 15K P/E cycles) pins the read-disturb damage exponent and amplitude;
+- Figure 4 (one-percent Vpass relaxation multiplies the tolerable read count
+  by roughly e^1.1) pins ``K_VPASS``;
+- Figures 5 and 6 (extra errors from relaxed Vpass across retention ages,
+  safe reduction 4% -> 0%) pin the P3 upper tail and the retention law;
+- Figure 2 (visible bulk ER shift after 1M reads) pins the drift amplitude.
+
+All voltages are on the paper's normalized scale: GND = 0, nominal
+Vpass = 512.
+"""
+
+from __future__ import annotations
+
+from repro.units import VPASS_NOMINAL
+
+# ---------------------------------------------------------------------------
+# Read reference voltages (paper Figure 1: Va < Vb < Vc < Vpass).
+# ---------------------------------------------------------------------------
+
+VA = 100.0
+VB = 227.0
+VC = 362.0
+
+#: Default read references in increasing order.
+READ_REFERENCES = (VA, VB, VC)
+
+#: Program-verify upper bound: programming retries until the cell threshold
+#: voltage lands below this value, which is why a small Vpass relaxation
+#: induces *no* read errors (paper Section 2.4, Figure 5 flat region).
+PROGRAM_VERIFY_MAX = 507.0
+
+# ---------------------------------------------------------------------------
+# Per-state threshold-voltage distribution parameters (fresh cells).
+# Each state is a normal body with weight (1 - TAIL_WEIGHT) plus an
+# asymmetric Laplace tail component with weight TAIL_WEIGHT; tails are the
+# standard model for sub-20nm state distributions (Parnell+ GLOBECOM 2014).
+# Values: (mean, sigma, laplace_scale_low, laplace_scale_high).
+# ---------------------------------------------------------------------------
+
+TAIL_WEIGHT = 0.03
+
+STATE_MEANS = (36.0, 165.0, 290.0, 415.0)
+STATE_SIGMAS = (13.0, 11.0, 10.0, 12.0)
+STATE_TAIL_LOW = (13.0, 12.0, 12.0, 10.0)
+STATE_TAIL_HIGH = (9.0, 9.0, 9.0, 9.5)
+
+# ---------------------------------------------------------------------------
+# Program/erase cycling wear.
+# ---------------------------------------------------------------------------
+
+#: Distribution widening: sigma(pe) = sigma0 * sqrt(1 + pe / SIGMA_WIDEN_PE).
+SIGMA_WIDEN_PE = 20000.0
+
+#: Erased-state mean creep (trapped charge raises the erased distribution):
+#: mu_ER(pe) = mu_ER + ER_CREEP_SCALE * (pe / 1e4) ** CREEP_EXPONENT.
+ER_CREEP_SCALE = 12.0
+PROG_CREEP_SCALE = 3.0
+CREEP_EXPONENT = 0.6
+
+#: Read-disturb damage factor (pe / RD_DAMAGE_PE_REF) ** RD_DAMAGE_EXPONENT.
+#: The exponent 1.46 reproduces the paper's Figure 3 slope table exactly:
+#: (15000 / 2000) ** 1.46 = 19 = 1.90e-8 / 1.00e-9.
+RD_DAMAGE_PE_REF = 2000.0
+RD_DAMAGE_EXPONENT = 1.46
+
+#: Retention damage factor (pe / RET_DAMAGE_PE_REF) ** RET_DAMAGE_EXPONENT.
+RET_DAMAGE_PE_REF = 8000.0
+RET_DAMAGE_EXPONENT = 0.9
+
+#: Wear factors saturate below this cycle count (a handful of cycles does
+#: not make a block *more* reliable than the floor).
+PE_FLOOR = 200.0
+
+# ---------------------------------------------------------------------------
+# Read-disturb drift law:
+#:   dV/dn = A_RD * a_cell * damage_rd(pe) * exp(-K_V * V)
+#:                * exp(K_VPASS * (vpass - VPASS_NOMINAL))
+#: integrated in closed form (self-limiting logarithmic growth).
+# ---------------------------------------------------------------------------
+
+#: Drift amplitude (normalized volts per read at V = 0 for a median cell on
+#: a block at the damage reference wear level).
+A_RD = 2.8e-5
+
+#: Cell-voltage sensitivity of the tunneling rate: lower-Vth cells are
+#: disturbed more (paper Section 2.1).  K_V = 24 / 512 makes the erased
+#: state dominate disturb errors (~300x the P1 rate) and confines crossed
+#: cells to an exponential pile (scale 512/24 ~ 21) just above the read
+#: reference — the boundary population RDR corrects (paper Figure 9).
+K_V = 24.0 / VPASS_NOMINAL
+
+#: Pass-through-voltage sensitivity of the tunneling rate.  K_VPASS =
+#: 110 / 512 means each 1% Vpass relaxation multiplies the per-read disturb
+#: by exp(-1.1) ~ 1/3, which reproduces the paper's "2% relaxation halves
+#: RBER at 100K reads" and the exponential growth in tolerable reads
+#: (Figure 4).
+K_VPASS = 110.0 / VPASS_NOMINAL
+
+# ---------------------------------------------------------------------------
+# Per-cell disturb susceptibility (process variation).  Body: lognormal with
+# unit mean.  Weak tail: truncated Pareto with alpha = 1, whose survival
+# S(a) ~ 1/a makes the population flip rate *linear* in read count — the
+# paper's central Figure 3 observation.
+# ---------------------------------------------------------------------------
+
+SUSCEPT_LOGNORMAL_SIGMA = 0.45
+WEAK_CELL_FRACTION = 0.061
+WEAK_CELL_A_MIN = 10.0
+WEAK_CELL_A_MAX = 2.0e4
+
+# ---------------------------------------------------------------------------
+# Retention leakage: dV = -R_RET * damage_ret(pe) * q * ln(1 + t / T0_RET),
+# with q = max(V - RET_CHARGE_FLOOR, 0) / 512 the normalized stored charge.
+# ---------------------------------------------------------------------------
+
+R_RET = 2.5
+T0_RET_SECONDS = 3600.0
+RET_CHARGE_FLOOR = 40.0
+
+#: Per-cell retention-leak heterogeneity (lognormal sigma, unit mean).
+#: Process variation makes some cells fast-leaking and some slow-leaking —
+#: the effect the authors' companion RFR mechanism exploits (HPCA 2015) and
+#: the reason relaxed-Vpass read errors shrink but never fully vanish with
+#: retention age (Figure 5).
+RET_LEAK_SIGMA = 0.5
+
+# ---------------------------------------------------------------------------
+# Program errors: a small fraction of cells lands in an adjacent state
+# during programming (ISPP overshoot / inhibit failures; Cai et al., DATE
+# 2012).  Each such cell costs exactly one bit under gray coding.  This is
+# the wear-dependent error floor visible at zero reads and zero retention.
+# ---------------------------------------------------------------------------
+
+PROGRAM_ERROR_RATE_REF = 2.4e-4
+PROGRAM_ERROR_PE_REF = 8000.0
+PROGRAM_ERROR_PE_EXPONENT = 1.1
+
+# ---------------------------------------------------------------------------
+# ECC provisioning (paper Section 2.5): tolerable RBER about 1e-3, and the
+# mechanisms reserve 20% of the correction capability as margin.
+# ---------------------------------------------------------------------------
+
+ECC_CODEWORD_BITS = 9216
+ECC_T_BITS = 40
+ECC_RESERVED_MARGIN_FRACTION = 0.2

@@ -1,0 +1,135 @@
+"""Read-disturb threshold-voltage drift.
+
+Each read to a page applies the pass-through voltage to every *other*
+wordline of the block; the resulting weak programming stress injects charge
+into the unread cells.  We model the per-read drift of a cell at voltage V
+as a field-driven tunneling law:
+
+    dV/dn = A_RD * a_cell * damage_rd(pe)
+            * exp(-K_V * V) * exp(K_VPASS * (vpass - 512))
+
+which integrates in closed form to self-limiting logarithmic growth:
+
+    V(n) = (1/K_V) * ln( exp(K_V * V0) + K_V * C * n ),
+    C    = A_RD * a_cell * damage_rd(pe) * exp(K_VPASS * (vpass - 512)).
+
+Consequences, all observed in the paper:
+
+- lower-Vth cells shift more (exp(-K_V * V): the erased state is hit
+  hardest, Figure 2b);
+- a worn block shifts more per read (damage factor, Figure 3);
+- relaxing Vpass reduces the per-read shift *exponentially* (K_VPASS,
+  Figure 4);
+- drift slows as the cell rises (logarithmic in n, Figure 2a).
+
+Because the Vpass dependence factors out of the integral, the sufficient
+statistic for a variable-Vpass read history is the accumulated *exposure*
+``E = sum_reads exp(K_VPASS * (vpass_read - 512))``; the device layer tracks
+exposure per wordline and materializes voltages lazily through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import VPASS_NOMINAL
+from repro.physics import constants
+from repro.physics.wear import read_disturb_damage
+
+
+def vpass_exposure_weight(vpass: float | np.ndarray) -> np.ndarray | float:
+    """Exposure contributed by one read performed at *vpass*.
+
+    At nominal Vpass the weight is 1; each 1% relaxation divides it by
+    about e^1.1 (the paper's Figure 4 calibration).
+    """
+    vpass = np.asarray(vpass, dtype=np.float64)
+    if (vpass <= 0).any():
+        raise ValueError("vpass must be positive")
+    out = np.exp(constants.K_VPASS * (vpass - VPASS_NOMINAL))
+    return float(out) if out.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class ReadDisturbModel:
+    """Closed-form read-disturb drift with configurable constants."""
+
+    amplitude: float = constants.A_RD
+    k_v: float = constants.K_V
+    k_vpass: float = constants.K_VPASS
+
+    def rate_coefficient(
+        self,
+        susceptibility: np.ndarray | float,
+        pe_cycles: float,
+    ) -> np.ndarray | float:
+        """The constant C of the drift law (at unit exposure weight)."""
+        return self.amplitude * np.asarray(susceptibility, np.float64) * read_disturb_damage(
+            pe_cycles
+        )
+
+    def drifted_voltage(
+        self,
+        v0: np.ndarray | float,
+        exposure: np.ndarray | float,
+        susceptibility: np.ndarray | float,
+        pe_cycles: float,
+    ) -> np.ndarray:
+        """Voltage after accumulated disturb *exposure* (closed form).
+
+        ``exposure`` is the Vpass-weighted read count (see module docstring);
+        for a constant nominal Vpass it equals the raw read count.
+        """
+        v0 = np.asarray(v0, dtype=np.float64)
+        exposure = np.asarray(exposure, dtype=np.float64)
+        if (exposure < 0).any():
+            raise ValueError("exposure cannot be negative")
+        c = self.rate_coefficient(susceptibility, pe_cycles)
+        # exp(K_V * v0) stays modest (K_V * 512 ~ 6) so no overflow care
+        # is needed beyond float64.
+        return np.log(np.exp(self.k_v * v0) + self.k_v * c * exposure) / self.k_v
+
+    def drift(
+        self,
+        v0: np.ndarray | float,
+        exposure: np.ndarray | float,
+        susceptibility: np.ndarray | float,
+        pe_cycles: float,
+    ) -> np.ndarray:
+        """Vth shift (always >= 0) after the given exposure."""
+        return self.drifted_voltage(v0, exposure, susceptibility, pe_cycles) - np.asarray(
+            v0, dtype=np.float64
+        )
+
+    def required_susceptibility(
+        self,
+        v0: np.ndarray | float,
+        v_target: float,
+        exposure: float,
+        pe_cycles: float,
+    ) -> np.ndarray:
+        """Minimum susceptibility for a cell at *v0* to reach *v_target*.
+
+        Inverts the closed form: drift is monotone in susceptibility, so
+        P[V(n) > v_target] = S(required_susceptibility) with S the
+        susceptibility survival function.  This is what makes the analytic
+        RBER model exact rather than a Monte-Carlo average.
+        """
+        if exposure < 0:
+            raise ValueError("exposure cannot be negative")
+        v0 = np.asarray(v0, dtype=np.float64)
+        base = self.amplitude * read_disturb_damage(pe_cycles)
+        if exposure == 0 or base == 0:
+            out = np.full(v0.shape, np.inf)
+            out[v0 >= v_target] = 0.0
+            return out
+        need = (np.exp(self.k_v * v_target) - np.exp(self.k_v * v0)) / (
+            self.k_v * base * exposure
+        )
+        return np.maximum(need, 0.0)
+
+
+#: Default drift model shared by the Monte-Carlo and analytic layers.
+DEFAULT_READ_DISTURB = ReadDisturbModel()

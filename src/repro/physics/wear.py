@@ -1,0 +1,74 @@
+"""Program/erase cycling wear transforms.
+
+P/E cycling damages the tunnel oxide.  The paper measures three consequences
+that we model as multiplicative wear factors:
+
+- state distributions widen and creep upward (baseline RBER grows with wear,
+  Figure 3 intercepts);
+- each read disturb shifts Vth more on a worn block; the damage factor
+  ``(pe / 2000) ** 1.46`` reproduces the Figure 3 slope table exactly;
+- retention leakage accelerates with wear (Figures 5 and 6 are measured at
+  8K P/E cycles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.state import MlcState
+from repro.physics import constants
+
+
+def _effective_pe(pe_cycles: float | np.ndarray) -> np.ndarray:
+    """Clamp wear below the floor; a nearly-fresh block behaves like one at
+    the floor rather than becoming infinitely reliable."""
+    pe = np.asarray(pe_cycles, dtype=np.float64)
+    if (pe < 0).any():
+        raise ValueError("P/E cycle count cannot be negative")
+    return np.maximum(pe, constants.PE_FLOOR)
+
+
+def sigma_widening(pe_cycles: float | np.ndarray) -> np.ndarray | float:
+    """Multiplicative widening of distribution scales at *pe_cycles* wear."""
+    pe = np.asarray(pe_cycles, dtype=np.float64)
+    if (pe < 0).any():
+        raise ValueError("P/E cycle count cannot be negative")
+    out = np.sqrt(1.0 + pe / constants.SIGMA_WIDEN_PE)
+    return float(out) if out.ndim == 0 else out
+
+
+def mean_creep(state: MlcState, pe_cycles: float | np.ndarray) -> np.ndarray | float:
+    """Upward creep of the state mean due to trapped charge.
+
+    The erased state creeps fastest (it is the farthest from its verify
+    level, and trapped electrons raise its apparent Vth most visibly).
+    """
+    pe = np.asarray(pe_cycles, dtype=np.float64)
+    if (pe < 0).any():
+        raise ValueError("P/E cycle count cannot be negative")
+    scale = (
+        constants.ER_CREEP_SCALE
+        if MlcState(state) is MlcState.ER
+        else constants.PROG_CREEP_SCALE
+    )
+    out = scale * (pe / 1.0e4) ** constants.CREEP_EXPONENT
+    return float(out) if out.ndim == 0 else out
+
+
+def read_disturb_damage(pe_cycles: float | np.ndarray) -> np.ndarray | float:
+    """Read-disturb damage factor at *pe_cycles* wear.
+
+    Power law calibrated to the paper's Figure 3 slope table: the RBER slope
+    grows as (pe / 2000) ** 1.46, which matches all seven reported slopes
+    within reading accuracy (15K/2K ratio = 19.0).
+    """
+    pe = _effective_pe(pe_cycles)
+    out = (pe / constants.RD_DAMAGE_PE_REF) ** constants.RD_DAMAGE_EXPONENT
+    return float(out) if out.ndim == 0 else out
+
+
+def retention_damage(pe_cycles: float | np.ndarray) -> np.ndarray | float:
+    """Retention-leakage damage factor at *pe_cycles* wear."""
+    pe = _effective_pe(pe_cycles)
+    out = (pe / constants.RET_DAMAGE_PE_REF) ** constants.RET_DAMAGE_EXPONENT
+    return float(out) if out.ndim == 0 else out

@@ -1,0 +1,57 @@
+"""Normalized units used throughout the reproduction.
+
+The paper reports all threshold voltages on a normalized scale where the
+nominal pass-through voltage ``Vpass`` equals 512 and GND equals 0
+(Section 2 of the paper).  Time is measured in seconds; the paper's
+retention experiments use days, and its refresh interval is seven days.
+"""
+
+from __future__ import annotations
+
+#: Normalized voltage of the nominal pass-through voltage (paper Section 2).
+VPASS_NOMINAL = 512.0
+
+#: Normalized voltage representing ground.
+GND = 0.0
+
+#: Seconds per hour/day, used by the retention model and the controller.
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+#: The paper's remapping-based refresh interval (Section 3): seven days.
+REFRESH_INTERVAL_DAYS = 7.0
+REFRESH_INTERVAL_SECONDS = REFRESH_INTERVAL_DAYS * SECONDS_PER_DAY
+
+
+def days(n: float) -> float:
+    """Convert *n* days into seconds."""
+    return float(n) * SECONDS_PER_DAY
+
+
+def hours(n: float) -> float:
+    """Convert *n* hours into seconds."""
+    return float(n) * SECONDS_PER_HOUR
+
+
+def as_days(seconds: float) -> float:
+    """Convert *seconds* into (possibly fractional) days."""
+    return float(seconds) / SECONDS_PER_DAY
+
+
+def vpass_fraction(vpass: float) -> float:
+    """Return *vpass* as a fraction of the nominal pass-through voltage.
+
+    The paper quotes relaxations as percentages of nominal Vpass
+    (e.g. "94% Vpass" in Figure 4).
+    """
+    return float(vpass) / VPASS_NOMINAL
+
+
+def vpass_from_fraction(fraction: float) -> float:
+    """Return the normalized Vpass for a fraction of nominal (e.g. 0.96)."""
+    return float(fraction) * VPASS_NOMINAL
+
+
+def vpass_reduction_percent(vpass: float) -> float:
+    """Return the relaxation of *vpass* below nominal, in percent."""
+    return 100.0 * (1.0 - vpass_fraction(vpass))

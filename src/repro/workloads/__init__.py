@@ -1,0 +1,25 @@
+"""I/O workloads.
+
+The paper evaluates Vpass Tuning "with I/O traces collected from a wide
+range of real workloads" (MSR-Cambridge write off-loading traces, the FIU
+I/O-deduplication traces, postmark, and cello99).  Those traces are not
+redistributable, so this package generates synthetic traces parameterized
+to each workload's published statistics — read/write mix, intensity, and
+access skew — which are the only properties the endurance results depend
+on (read disturb is driven by per-block read pressure).
+"""
+
+from repro.workloads.trace import IoTrace, OP_READ, OP_WRITE
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+from repro.workloads.suites import WORKLOAD_SUITE, workload_names, get_workload
+
+__all__ = [
+    "IoTrace",
+    "OP_READ",
+    "OP_WRITE",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "WORKLOAD_SUITE",
+    "workload_names",
+    "get_workload",
+]

@@ -1,0 +1,119 @@
+"""The evaluation workload suite (paper Figure 8).
+
+Fourteen workloads parameterized to the published characteristics of the
+traces the paper evaluates: the MSR-Cambridge write off-loading volumes
+(Narayanan et al., TOS 2008), the FIU I/O-deduplication traces (Koller &
+Rangaswami, TOS 2010), postmark (Katcher, 1997), and HP cello99 (SNIA
+IOTTA).  Intensities are average rates over the trace period; skews follow
+the heavy-tailed read popularity those studies report.  Endurance results
+depend on the hottest block's read pressure per refresh interval, which
+these parameters control.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+
+_SPECS = (
+    WorkloadSpec(
+        name="web_0",
+        description="MSR web server volume: read-mostly with hot objects",
+        iops=12.5, read_fraction=0.75, working_set_pages=65536,
+        read_zipf_theta=0.78,
+    ),
+    WorkloadSpec(
+        name="prxy_0",
+        description="MSR firewall/web proxy: intense, highly skewed reads",
+        iops=10.1, read_fraction=0.65, working_set_pages=32768,
+        read_zipf_theta=0.8,
+    ),
+    WorkloadSpec(
+        name="hm_0",
+        description="MSR hardware-monitoring volume: write-dominated logging",
+        iops=9.4, read_fraction=0.4, working_set_pages=65536,
+        read_zipf_theta=0.65,
+    ),
+    WorkloadSpec(
+        name="proj_0",
+        description="MSR project directories: mixed, large footprint",
+        iops=14.0, read_fraction=0.55, working_set_pages=131072,
+        read_zipf_theta=0.75,
+    ),
+    WorkloadSpec(
+        name="prn_0",
+        description="MSR print server: bursty writes, moderate reads",
+        iops=10.1, read_fraction=0.45, working_set_pages=65536,
+        read_zipf_theta=0.68,
+    ),
+    WorkloadSpec(
+        name="rsrch_0",
+        description="MSR research projects volume: small mixed load",
+        iops=7.0, read_fraction=0.45, working_set_pages=32768,
+        read_zipf_theta=0.7,
+    ),
+    WorkloadSpec(
+        name="src1_2",
+        description="MSR source control: read-heavy with hot repository heads",
+        iops=7.8, read_fraction=0.6, working_set_pages=65536,
+        read_zipf_theta=0.85,
+    ),
+    WorkloadSpec(
+        name="stg_0",
+        description="MSR staging server: write-heavy ingest",
+        iops=9.4, read_fraction=0.35, working_set_pages=65536,
+        read_zipf_theta=0.6,
+    ),
+    WorkloadSpec(
+        name="ts_0",
+        description="MSR terminal server: interactive, moderately skewed",
+        iops=7.8, read_fraction=0.5, working_set_pages=32768,
+        read_zipf_theta=0.75,
+    ),
+    WorkloadSpec(
+        name="usr_0",
+        description="MSR user home directories: mixed, large footprint",
+        iops=14.0, read_fraction=0.6, working_set_pages=131072,
+        read_zipf_theta=0.72,
+    ),
+    WorkloadSpec(
+        name="wdev_0",
+        description="MSR test web server: light, write-dominated",
+        iops=3.9, read_fraction=0.2, working_set_pages=32768,
+        read_zipf_theta=0.5,
+    ),
+    WorkloadSpec(
+        name="webmail",
+        description="FIU web-mail server (I/O dedup study): hot mailboxes",
+        iops=9.8, read_fraction=0.7, working_set_pages=65536,
+        read_zipf_theta=0.8,
+    ),
+    WorkloadSpec(
+        name="postmark",
+        description="Postmark mail benchmark: small files, tight footprint",
+        iops=11.7, read_fraction=0.5, working_set_pages=16384,
+        read_zipf_theta=0.65,
+    ),
+    WorkloadSpec(
+        name="cello99",
+        description="HP cello99 timesharing cluster (SNIA IOTTA)",
+        iops=10.9, read_fraction=0.45, working_set_pages=65536,
+        read_zipf_theta=0.75,
+    ),
+)
+
+#: name -> spec for the full suite.
+WORKLOAD_SUITE: dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def workload_names() -> list[str]:
+    """Names of the suite's workloads, in canonical order."""
+    return [spec.name for spec in _SPECS]
+
+
+def get_workload(name: str, seed: int = 0) -> SyntheticWorkload:
+    """Instantiate the generator for one named workload."""
+    if name not in WORKLOAD_SUITE:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        )
+    return SyntheticWorkload(WORKLOAD_SUITE[name], seed=seed)

@@ -1,0 +1,105 @@
+"""Block I/O trace container.
+
+A trace is a time-ordered sequence of page-granularity operations, stored
+as parallel numpy arrays (struct-of-arrays keeps million-operation traces
+cheap).  CSV import/export uses the common ``timestamp,op,lpn`` layout so
+real traces can be dropped in where licensing allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+OP_READ = 0
+OP_WRITE = 1
+
+
+@dataclass(frozen=True)
+class IoTrace:
+    """A page-granularity block I/O trace."""
+
+    #: seconds from trace start, non-decreasing.
+    timestamps: np.ndarray
+    #: OP_READ or OP_WRITE per operation.
+    ops: np.ndarray
+    #: logical page number targeted by each operation.
+    lpns: np.ndarray
+    #: human-readable origin of the trace.
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if not (self.timestamps.shape == self.ops.shape == self.lpns.shape):
+            raise ValueError("trace arrays must have identical shapes")
+        if self.timestamps.ndim != 1:
+            raise ValueError("trace arrays must be one-dimensional")
+        if self.timestamps.size and (np.diff(self.timestamps) < 0).any():
+            raise ValueError("timestamps must be non-decreasing")
+        if self.ops.size and not np.isin(self.ops, (OP_READ, OP_WRITE)).all():
+            raise ValueError("ops must be OP_READ or OP_WRITE")
+        if self.lpns.size and (self.lpns < 0).any():
+            raise ValueError("logical page numbers cannot be negative")
+
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Time span covered by the trace."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of operations that are reads."""
+        if len(self) == 0:
+            raise ValueError("empty trace has no read fraction")
+        return float((self.ops == OP_READ).mean())
+
+    @property
+    def reads(self) -> "IoTrace":
+        """The read operations only."""
+        mask = self.ops == OP_READ
+        return IoTrace(
+            self.timestamps[mask], self.ops[mask], self.lpns[mask], f"{self.name}:reads"
+        )
+
+    @property
+    def writes(self) -> "IoTrace":
+        """The write operations only."""
+        mask = self.ops == OP_WRITE
+        return IoTrace(
+            self.timestamps[mask], self.ops[mask], self.lpns[mask], f"{self.name}:writes"
+        )
+
+    def slice_time(self, start: float, end: float) -> "IoTrace":
+        """Operations with start <= timestamp < end."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        mask = (self.timestamps >= start) & (self.timestamps < end)
+        return IoTrace(self.timestamps[mask], self.ops[mask], self.lpns[mask], self.name)
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the trace as ``timestamp,op,lpn`` rows."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = np.column_stack([self.timestamps, self.ops, self.lpns])
+        np.savetxt(path, data, fmt=["%.6f", "%d", "%d"], delimiter=",", header="timestamp,op,lpn", comments="")
+        return path
+
+    @classmethod
+    def from_csv(cls, path: str | Path, name: str | None = None) -> "IoTrace":
+        """Load a ``timestamp,op,lpn`` CSV trace."""
+        path = Path(path)
+        data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+        if data.size == 0:
+            return cls(np.empty(0), np.empty(0, np.int64), np.empty(0, np.int64), name or path.stem)
+        return cls(
+            data[:, 0].astype(np.float64),
+            data[:, 1].astype(np.int64),
+            data[:, 2].astype(np.int64),
+            name or path.stem,
+        )

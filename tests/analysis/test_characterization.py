@@ -1,0 +1,57 @@
+"""Characterization experiment drivers (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import (
+    rber_vs_read_disturb,
+    rdr_experiment,
+    relaxed_vpass_errors,
+    vpass_sweep,
+    vth_shift_experiment,
+)
+from repro.flash import FlashGeometry
+
+TINY = FlashGeometry(blocks=1, wordlines_per_block=8, bitlines_per_block=4096)
+
+
+def test_vth_shift_experiment_shapes():
+    snaps = vth_shift_experiment(
+        read_counts=(0, 200_000), geometry=TINY, seed=1
+    )
+    assert [s.reads for s in snaps] == [0, 200_000]
+    # Disturb shifts the measured population upward.
+    assert snaps[1].voltages.mean() > snaps[0].voltages.mean()
+    hists = snaps[0].histograms()
+    assert len(hists) == 4
+
+
+def test_rber_vs_read_disturb_slopes_ordered(fast_model):
+    series = rber_vs_read_disturb(
+        pe_values=(2000, 8000), reads=np.arange(0, 100_001, 50_000), model=fast_model
+    )
+    assert series[0].slope < series[1].slope
+    assert series[1].slope == pytest.approx(7.5e-9, rel=1.0)
+
+
+def test_vpass_sweep_ordering(fast_model):
+    out = vpass_sweep(
+        vpass_percents=(96, 100), reads=np.array([1e5, 1e6]), model=fast_model
+    )
+    assert (out[96] <= out[100] + 1e-12).all()
+
+
+def test_relaxed_vpass_errors_age_ordering(fast_model):
+    out = relaxed_vpass_errors(
+        retention_ages_days=(0, 21), vpass_values=np.array([485.0]), model=fast_model
+    )
+    assert out[21][0] < out[0][0]
+
+
+def test_rdr_experiment_recovers():
+    points = rdr_experiment(
+        read_counts=(0, 1_000_000), geometry=TINY, wordlines=(0,), seed=2
+    )
+    assert points[0].reduction_percent <= 5.0
+    assert points[1].reduction_percent > 15.0
+    assert points[1].rber_no_recovery > points[0].rber_no_recovery

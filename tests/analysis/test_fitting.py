@@ -1,0 +1,26 @@
+"""Fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import linear_slope, relative_change
+
+
+def test_linear_slope_exact():
+    x = np.array([0.0, 1.0, 2.0, 3.0])
+    slope, intercept = linear_slope(x, 2.0 * x + 5.0)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(5.0)
+
+
+def test_linear_slope_validation():
+    with pytest.raises(ValueError):
+        linear_slope(np.array([1.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        linear_slope(np.zeros(3), np.zeros(4))
+
+
+def test_relative_change():
+    assert relative_change(10.0, 6.4) == pytest.approx(-0.36)
+    with pytest.raises(ValueError):
+        relative_change(0.0, 1.0)

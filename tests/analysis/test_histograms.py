@@ -1,0 +1,56 @@
+"""Read-retry Vth measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import (
+    per_state_histograms,
+    quantized_voltages,
+    vth_histogram,
+)
+from repro.flash.state import MlcState
+
+
+def test_quantized_voltages_close_to_truth(programmed_block):
+    blk = programmed_block
+    measured = quantized_voltages(blk, 0, step=4.0, record_disturb=False)
+    actual = blk.current_voltages(0.0, np.array([0]))[0]
+    assert np.abs(measured - actual).max() <= 4.0  # within one retry step
+
+
+def test_sweep_disturb_accounting(programmed_block):
+    blk = programmed_block
+    before = blk.total_reads
+    quantized_voltages(blk, 0, step=16.0, record_disturb=True)
+    assert blk.total_reads > before
+    quantized_voltages(blk, 0, step=16.0, record_disturb=False)
+
+
+def test_histogram_normalized():
+    rng = np.random.default_rng(0)
+    v = rng.normal(200, 20, 20000)
+    centers, density = vth_histogram(v, bins=100)
+    width = centers[1] - centers[0]
+    assert (density * width).sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_per_state_histograms_partition(programmed_block):
+    blk = programmed_block
+    v = blk.current_voltages(0.0, np.array([0]))[0]
+    states = blk.true_states_of_wordline(0)
+    hists = per_state_histograms(v, states)
+    assert set(hists) == set(MlcState)
+    # Histogram peaks appear in state order.
+    peaks = [hists[s][0][np.argmax(hists[s][1])] for s in MlcState]
+    assert peaks == sorted(peaks)
+
+
+def test_validation(programmed_block):
+    with pytest.raises(ValueError):
+        vth_histogram(np.array([]))
+    with pytest.raises(ValueError):
+        quantized_voltages(programmed_block, 0, step=0.0)
+    with pytest.raises(ValueError):
+        quantized_voltages(programmed_block, 0, lo=100.0, hi=50.0)
+    with pytest.raises(ValueError):
+        per_state_histograms(np.zeros(4), np.zeros(5))

@@ -1,0 +1,31 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table, write_csv
+
+
+def test_table_alignment():
+    table = format_table(["a", "long_header"], [[1, 2.5], [300, 1e-6]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "long_header" in lines[1]
+    assert len(lines) == 5
+
+
+def test_row_width_checked():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_series_format():
+    out = format_series("rber", [1, 2], [0.5, 0.25])
+    assert "rber" in out
+    assert "0.5" in out
+
+
+def test_write_csv(tmp_path):
+    path = write_csv(tmp_path / "sub" / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+    text = path.read_text().strip().splitlines()
+    assert text[0] == "a,b"
+    assert text[2] == "3,4"

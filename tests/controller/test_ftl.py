@@ -1,0 +1,110 @@
+"""Page-mapping FTL: mapping correctness, GC, wear leveling."""
+
+import numpy as np
+import pytest
+
+from repro.controller.ftl import BlockState, GcStarvationError, PageMappingFtl, SsdConfig
+
+SMALL = SsdConfig(blocks=8, pages_per_block=16, overprovision=0.45, gc_threshold_blocks=2)
+
+
+def test_write_then_read_maps_consistently():
+    ftl = PageMappingFtl(SMALL)
+    loc = ftl.write(5)
+    assert ftl.read(5) == loc
+    ftl.check_invariants()
+
+
+def test_read_unwritten_returns_none():
+    ftl = PageMappingFtl(SMALL)
+    assert ftl.read(3) is None
+
+
+def test_overwrite_invalidates_old_copy():
+    ftl = PageMappingFtl(SMALL)
+    first = ftl.write(7)
+    second = ftl.write(7)
+    assert first != second
+    assert ftl.read(7) == second
+    assert ftl.valid_count.sum() == 1
+    ftl.check_invariants()
+
+
+def test_lpn_bounds_checked():
+    ftl = PageMappingFtl(SMALL)
+    with pytest.raises(IndexError):
+        ftl.write(ftl.config.logical_pages)
+    with pytest.raises(IndexError):
+        ftl.read(-1)
+
+
+def test_gc_reclaims_space_under_sustained_writes(rng):
+    ftl = PageMappingFtl(SMALL)
+    for lpn in rng.integers(0, ftl.config.logical_pages, 2000):
+        ftl.write(int(lpn))
+    assert ftl.gc_runs > 0
+    assert ftl.write_amplification >= 1.0
+    ftl.check_invariants()
+    # All logical data still readable.
+    mapped = np.flatnonzero(ftl.l2p != ftl.INVALID)
+    for lpn in mapped[:50]:
+        assert ftl.read(int(lpn)) is not None
+
+
+def test_read_counts_accumulate_per_block():
+    ftl = PageMappingFtl(SMALL)
+    ftl.write(1)
+    block, _ = ftl.read(1)
+    before = ftl.reads_since_program[block]
+    for _ in range(9):
+        ftl.read(1)
+    assert ftl.reads_since_program[block] == before + 9
+
+
+def test_relocate_block_preserves_data():
+    ftl = PageMappingFtl(SMALL)
+    for lpn in range(10):
+        ftl.write(lpn)
+    victim = ftl.read(0)[0]
+    moved = ftl.relocate_block(victim, now=1.0)
+    assert moved > 0
+    assert ftl.block_state[victim] == int(BlockState.FREE)
+    for lpn in range(10):
+        assert ftl.read(lpn) is not None
+    ftl.check_invariants()
+
+
+def test_relocate_resets_read_counter():
+    ftl = PageMappingFtl(SMALL)
+    ftl.write(1)
+    for _ in range(100):
+        ftl.read(1)
+    block = ftl.read(1)[0]
+    ftl.relocate_block(block, now=2.0)
+    new_block = ftl.read(1)[0]
+    assert ftl.reads_since_program[new_block] <= 2
+
+
+def test_relocate_free_block_rejected():
+    ftl = PageMappingFtl(SMALL)
+    free = [b for b in range(SMALL.blocks) if ftl.block_state[b] == int(BlockState.FREE)]
+    with pytest.raises(ValueError):
+        ftl.relocate_block(free[0], now=0.0)
+
+
+def test_wear_leveling_prefers_least_worn(rng):
+    ftl = PageMappingFtl(SMALL)
+    for lpn in rng.integers(0, ftl.config.logical_pages, 4000):
+        ftl.write(int(lpn))
+    pe = ftl.pe_cycles
+    # Greedy GC + least-worn allocation keep wear within a tight band.
+    assert pe.max() - pe.min() <= max(4, int(0.5 * pe.max()))
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError):
+        SsdConfig(blocks=2)
+    with pytest.raises(ValueError):
+        SsdConfig(overprovision=0.9)
+    with pytest.raises(ValueError):
+        SsdConfig(gc_threshold_blocks=0)

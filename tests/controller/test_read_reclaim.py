@@ -1,0 +1,30 @@
+"""Read-reclaim baseline mitigation."""
+
+import pytest
+
+from repro.controller.ftl import PageMappingFtl, SsdConfig
+from repro.controller.read_reclaim import ReadReclaimPolicy
+
+SMALL = SsdConfig(blocks=8, pages_per_block=16, overprovision=0.45)
+
+
+def test_reclaim_triggers_at_threshold():
+    ftl = PageMappingFtl(SMALL)
+    ftl.write(0)
+    policy = ReadReclaimPolicy(threshold_reads=100)
+    for _ in range(99):
+        ftl.read(0)
+    assert len(policy.due_blocks(ftl)) == 0
+    ftl.read(0)
+    assert len(policy.due_blocks(ftl)) == 1
+    reclaimed = policy.run(ftl, now=1.0)
+    assert len(reclaimed) == 1
+    assert policy.reclaimed_blocks == 1
+    # The relocated block starts with a clean read counter.
+    assert len(policy.due_blocks(ftl)) == 0
+    assert ftl.read(0) is not None
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        ReadReclaimPolicy(threshold_reads=0)

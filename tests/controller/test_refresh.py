@@ -1,0 +1,38 @@
+"""Remapping-based refresh scheduler."""
+
+import pytest
+
+from repro.controller.ftl import PageMappingFtl, SsdConfig
+from repro.controller.refresh import RefreshScheduler
+from repro.units import days
+
+SMALL = SsdConfig(blocks=8, pages_per_block=16, overprovision=0.45)
+
+
+def test_due_blocks_by_age():
+    ftl = PageMappingFtl(SMALL)
+    ftl.write(0, now=0.0)
+    sched = RefreshScheduler(interval_days=7)
+    assert len(sched.due_blocks(ftl, days(3))) == 0
+    assert len(sched.due_blocks(ftl, days(8))) == 1
+
+
+def test_refresh_moves_data_and_resets_age():
+    ftl = PageMappingFtl(SMALL)
+    for lpn in range(5):
+        ftl.write(lpn, now=0.0)
+    sched = RefreshScheduler(interval_days=7)
+    refreshed = sched.run(ftl, days(8))
+    assert refreshed
+    assert sched.refreshed_pages >= 5
+    # Data now lives in blocks programmed at refresh time.
+    block, _ = ftl.read(0)
+    assert ftl.program_time[block] == days(8)
+    assert len(sched.due_blocks(ftl, days(8))) == 0
+    for lpn in range(5):
+        assert ftl.read(lpn) is not None
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        RefreshScheduler(interval_days=0)

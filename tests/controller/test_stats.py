@@ -1,0 +1,46 @@
+"""Static-binning read-pressure statistics."""
+
+import numpy as np
+import pytest
+
+from repro.controller.stats import (
+    block_read_pressure,
+    hottest_block_reads_per_day,
+    read_pressure_percentiles,
+)
+from repro.units import days
+from repro.workloads import IoTrace, OP_READ, OP_WRITE
+
+
+def _trace():
+    ts = np.linspace(0, days(2), 1000)
+    ops = np.full(1000, OP_READ, dtype=np.int64)
+    ops[::10] = OP_WRITE
+    lpns = np.concatenate([np.zeros(500), np.arange(500) * 7]).astype(np.int64)
+    return IoTrace(ts, ops, lpns, "t")
+
+
+def test_pressure_counts_reads_only():
+    trace = _trace()
+    pressure = block_read_pressure(trace, pages_per_block=64)
+    assert pressure.sum() == int((trace.ops == OP_READ).sum())
+
+
+def test_hottest_block_is_the_hammered_one():
+    trace = _trace()
+    pressure = block_read_pressure(trace, pages_per_block=64)
+    assert pressure.argmax() == 0  # lpn 0 hammered
+    per_day = hottest_block_reads_per_day(trace, 64)
+    assert per_day == pytest.approx(pressure.max() / 2.0, rel=0.01)
+
+
+def test_percentiles_ordered():
+    trace = _trace()
+    p = read_pressure_percentiles(trace, 64)
+    assert p[50.0] <= p[90.0] <= p[99.0] <= p[100.0]
+
+
+def test_validation():
+    trace = _trace()
+    with pytest.raises(ValueError):
+        block_read_pressure(trace, 0)

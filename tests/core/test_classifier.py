@@ -1,0 +1,39 @@
+"""Otsu intersection threshold for RDR's prone/resistant split."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import intersection_threshold
+
+
+def test_separates_two_clear_modes(rng):
+    low = rng.normal(0.5, 0.3, 3000)
+    high = rng.normal(8.0, 1.0, 1000)
+    t = intersection_threshold(np.concatenate([low, high]))
+    assert 1.5 < t < 6.5
+
+
+def test_classification_accuracy(rng):
+    low = rng.normal(0.0, 0.5, 2000)
+    high = rng.normal(10.0, 1.0, 2000)
+    samples = np.concatenate([low, high])
+    labels = np.concatenate([np.zeros(2000), np.ones(2000)])
+    t = intersection_threshold(samples)
+    predicted = samples > t
+    accuracy = (predicted == labels.astype(bool)).mean()
+    assert accuracy > 0.99
+
+
+def test_degenerate_inputs():
+    assert intersection_threshold(np.array([3.0])) == 3.0
+    assert intersection_threshold(np.full(100, 2.5)) == 2.5
+    with pytest.raises(ValueError):
+        intersection_threshold(np.array([]))
+
+
+def test_quantized_samples(rng):
+    """Works on retry-step-quantized shifts (multiples of 2)."""
+    low = np.zeros(500)
+    high = np.full(200, 6.0)
+    t = intersection_threshold(np.concatenate([low, high]))
+    assert 0.0 < t < 6.0

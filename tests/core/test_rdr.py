@@ -1,0 +1,73 @@
+"""Read Disturb Recovery on the Monte-Carlo block."""
+
+import pytest
+
+from repro.core import RdrConfig, ReadDisturbRecovery
+from repro.flash import FlashBlock, FlashGeometry
+from repro.rng import RngFactory
+
+GEOMETRY = FlashGeometry(blocks=1, wordlines_per_block=16, bitlines_per_block=8192)
+
+
+def _disturbed_block(reads: int, seed: int = 3, pe: int = 8000) -> FlashBlock:
+    block = FlashBlock(GEOMETRY, RngFactory(seed))
+    block.cycle_wear_to(pe)
+    block.program_random()
+    block.apply_read_disturb(reads, target_wordline=1)
+    return block
+
+
+def test_rdr_recovers_heavily_disturbed_wordline():
+    block = _disturbed_block(1_000_000)
+    outcome = ReadDisturbRecovery().recover_wordline(block, 0)
+    assert outcome.bit_errors_after < outcome.bit_errors_before
+    assert outcome.reduction_fraction > 0.2
+    assert outcome.corrected_to_lower > 0
+
+
+def test_rdr_harmless_without_disturb():
+    block = _disturbed_block(0)
+    outcome = ReadDisturbRecovery().recover_wordline(block, 0)
+    # The separation guard must keep RDR from inventing corrections.
+    assert outcome.bit_errors_after <= outcome.bit_errors_before + 1
+    assert outcome.skipped_boundaries >= 1
+
+
+def test_rdr_reduction_grows_with_disturb():
+    low = ReadDisturbRecovery().recover_wordline(_disturbed_block(150_000), 0)
+    high = ReadDisturbRecovery().recover_wordline(_disturbed_block(1_000_000), 0)
+    assert high.reduction_fraction > low.reduction_fraction
+
+
+def test_rdr_deterministic_for_identical_blocks():
+    """Recovery is a pure function of the chip state (determinism check)."""
+    a = ReadDisturbRecovery().recover_wordline(_disturbed_block(500_000, seed=9), 0)
+    b = ReadDisturbRecovery().recover_wordline(_disturbed_block(500_000, seed=9), 0)
+    assert a.bit_errors_before == b.bit_errors_before
+    assert a.bit_errors_after == b.bit_errors_after
+    assert a.corrected_to_lower == b.corrected_to_lower
+    assert a.corrected_to_higher == b.corrected_to_higher
+
+
+def test_upper_only_correction_mode():
+    cfg = RdrConfig(correct_below_reference=False)
+    block = _disturbed_block(1_000_000)
+    outcome = ReadDisturbRecovery(cfg).recover_wordline(block, 0)
+    assert outcome.reduction_fraction > 0.15
+
+
+def test_outcome_accounting():
+    block = _disturbed_block(800_000)
+    outcome = ReadDisturbRecovery().recover_wordline(block, 0)
+    assert outcome.bits_total == 2 * GEOMETRY.bitlines_per_block
+    assert outcome.candidate_cells >= outcome.corrected_to_lower
+    assert outcome.rber_before == outcome.bit_errors_before / outcome.bits_total
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError):
+        RdrConfig(extra_reads=0)
+    with pytest.raises(ValueError):
+        RdrConfig(retry_step=-1.0)
+    with pytest.raises(ValueError):
+        RdrConfig(upper_window=0.0)

@@ -1,0 +1,110 @@
+"""Vpass Tuning mechanism: margins, search, fallback, daily actions."""
+
+import pytest
+
+from repro.core import TunerConfig, VpassTuner
+from repro.ecc import DEFAULT_ECC
+from repro.units import VPASS_NOMINAL
+
+
+class FakeBlock:
+    """Scriptable TunableBlock: extra errors follow a step function of
+    vpass so the expected search outcome is known exactly."""
+
+    def __init__(self, mee: int, page_bits: int = 65536, error_scale: float = 500.0):
+        self.mee = mee
+        self._page_bits = page_bits
+        self.error_scale = error_scale
+        self.measurements = 0
+
+    @property
+    def page_bits(self) -> int:
+        return self._page_bits
+
+    def measure_worst_page_errors(self) -> int:
+        return self.mee
+
+    def measure_extra_errors(self, vpass: float) -> int:
+        self.measurements += 1
+        reduction = max(VPASS_NOMINAL - vpass, 0.0)
+        # Quadratic growth in relaxation depth.
+        return int(self.error_scale * (reduction / 32.0) ** 2)
+
+
+def test_margin_formula():
+    tuner = VpassTuner()
+    block = FakeBlock(mee=10)
+    mee, margin = tuner.available_margin(block)
+    assert mee == 10
+    assert margin == DEFAULT_ECC.usable_capability_bits(65536) - 10
+
+
+def test_full_tune_finds_deepest_safe_vpass():
+    tuner = VpassTuner(config=TunerConfig(step=2.0))
+    block = FakeBlock(mee=10)
+    outcome = tuner.tune_after_refresh(block)
+    margin = outcome.margin
+    # The found vpass respects the margin; one step deeper would not.
+    assert block.measure_extra_errors(outcome.vpass) <= margin
+    assert block.measure_extra_errors(outcome.vpass - 2.0) > margin
+    assert outcome.vpass < VPASS_NOMINAL
+    assert not outcome.fell_back
+
+
+def test_fallback_on_exhausted_margin():
+    tuner = VpassTuner()
+    block = FakeBlock(mee=10_000)  # far beyond usable capability
+    outcome = tuner.tune_after_refresh(block)
+    assert outcome.fell_back
+    assert outcome.vpass == VPASS_NOMINAL
+    assert outcome.margin < 0
+
+
+def test_min_vpass_floor_respected():
+    tuner = VpassTuner(config=TunerConfig(step=2.0, min_vpass=500.0))
+    block = FakeBlock(mee=0, error_scale=0.0)  # no extra errors ever
+    outcome = tuner.tune_after_refresh(block)
+    assert outcome.vpass >= 500.0 - 1e-9
+
+
+def test_daily_verify_raises_vpass_when_margin_shrinks():
+    tuner = VpassTuner(config=TunerConfig(step=2.0))
+    block = FakeBlock(mee=10)
+    tuned = tuner.tune_after_refresh(block)
+    # Errors grow: margin collapses to a sliver.
+    block.mee = DEFAULT_ECC.usable_capability_bits(65536) - 2
+    verified = tuner.verify_daily(block, tuned.vpass)
+    assert verified.vpass > tuned.vpass
+    assert verified.extra_errors <= verified.margin
+
+
+def test_daily_verify_keeps_vpass_when_margin_holds():
+    tuner = VpassTuner(config=TunerConfig(step=2.0))
+    block = FakeBlock(mee=10)
+    tuned = tuner.tune_after_refresh(block)
+    verified = tuner.verify_daily(block, tuned.vpass)
+    assert verified.vpass == tuned.vpass
+
+
+def test_daily_verify_falls_back_on_negative_margin():
+    tuner = VpassTuner()
+    block = FakeBlock(mee=10_000)
+    outcome = tuner.verify_daily(block, 490.0)
+    assert outcome.fell_back
+    assert outcome.vpass == VPASS_NOMINAL
+
+
+def test_reduction_percent():
+    tuner = VpassTuner(config=TunerConfig(step=VPASS_NOMINAL * 0.01))
+    block = FakeBlock(mee=10)
+    outcome = tuner.tune_after_refresh(block)
+    assert outcome.reduction_percent == pytest.approx(
+        100 * (1 - outcome.vpass / VPASS_NOMINAL)
+    )
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError):
+        TunerConfig(step=0.0)
+    with pytest.raises(ValueError):
+        TunerConfig(min_vpass=600.0)

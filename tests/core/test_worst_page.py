@@ -1,0 +1,49 @@
+"""Worst-page prediction and the Monte-Carlo tunable block adapter."""
+
+import pytest
+
+from repro.core import MonteCarloTunableBlock, predict_worst_page, VpassTuner
+from repro.flash import FlashBlock, FlashGeometry
+from repro.rng import RngFactory
+from repro.units import VPASS_NOMINAL
+
+GEOMETRY = FlashGeometry(blocks=1, wordlines_per_block=8, bitlines_per_block=4096)
+
+
+def test_predict_worst_page_in_range():
+    block = FlashBlock(GEOMETRY, RngFactory(1))
+    block.cycle_wear_to(8000)
+    page = predict_worst_page(block)
+    assert 0 <= page < GEOMETRY.pages_per_block
+
+
+def test_worst_page_has_max_errors():
+    block = FlashBlock(GEOMETRY, RngFactory(2))
+    block.cycle_wear_to(12000)
+    page = predict_worst_page(block)
+    errors = [
+        block.page_error_count(p, record_disturb=False)
+        for p in range(GEOMETRY.pages_per_block)
+    ]
+    assert errors[page] == max(errors)
+
+
+def test_mc_tunable_block_protocol():
+    block = FlashBlock(GEOMETRY, RngFactory(3))
+    block.cycle_wear_to(8000)
+    tunable = MonteCarloTunableBlock(block)
+    assert tunable.page_bits == GEOMETRY.bits_per_page
+    assert tunable.measure_worst_page_errors() >= 0
+    assert tunable.measure_extra_errors(VPASS_NOMINAL) == 0
+    assert tunable.measure_extra_errors(455.0) > 0
+
+
+def test_tuner_runs_on_mc_block():
+    """End to end: the real tuner against the real simulated chip."""
+    block = FlashBlock(GEOMETRY, RngFactory(4))
+    block.cycle_wear_to(8000)
+    tunable = MonteCarloTunableBlock(block)
+    outcome = VpassTuner().tune_after_refresh(tunable)
+    assert VPASS_NOMINAL * 0.90 <= outcome.vpass <= VPASS_NOMINAL
+    if not outcome.fell_back:
+        assert outcome.extra_errors <= outcome.margin

@@ -1,0 +1,54 @@
+"""DRAM module vulnerability model."""
+
+import pytest
+
+from repro.dram import DramModuleSpec, Manufacturer, module_fleet
+
+
+def test_pre2010_modules_invulnerable():
+    spec = DramModuleSpec(Manufacturer.A, 2009, 10, 0)
+    assert spec.median_error_rate() == 0.0
+    assert spec.sampled_error_rate() == 0.0
+
+
+def test_rates_grow_with_date():
+    early = DramModuleSpec(Manufacturer.A, 2011, 10, 0).median_error_rate()
+    late = DramModuleSpec(Manufacturer.A, 2014, 10, 0).median_error_rate()
+    assert 0 < early < late
+    assert late / early > 100  # multiple decades over three years
+
+
+def test_label_format():
+    spec = DramModuleSpec(Manufacturer.B, 2012, 3, 17)
+    assert spec.label == "B1203#17"
+
+
+def test_sampled_rate_reproducible():
+    spec = DramModuleSpec(Manufacturer.C, 2013, 20, 5)
+    assert spec.sampled_error_rate(seed=1) == spec.sampled_error_rate(seed=1)
+    assert spec.sampled_error_rate(seed=1) != spec.sampled_error_rate(seed=2)
+
+
+def test_fleet_composition():
+    fleet = module_fleet(129, seed=0)
+    assert len(fleet) == 129
+    years = {m.year for m in fleet}
+    assert min(years) <= 2009 and max(years) >= 2013
+    manufacturers = {m.manufacturer for m in fleet}
+    assert manufacturers == {Manufacturer.A, Manufacturer.B, Manufacturer.C}
+
+
+def test_fleet_mostly_vulnerable():
+    """The paper: 110 of 129 modules exhibit RowHammer errors."""
+    fleet = module_fleet(129, seed=0)
+    vulnerable = sum(1 for m in fleet if m.sampled_error_rate() > 0)
+    assert vulnerable >= 0.6 * len(fleet)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        DramModuleSpec(Manufacturer.A, 2007, 1, 0)
+    with pytest.raises(ValueError):
+        DramModuleSpec(Manufacturer.A, 2012, 53, 0)
+    with pytest.raises(ValueError):
+        module_fleet(0)

@@ -1,0 +1,65 @@
+"""Row-level RowHammer behavior."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DramModuleSpec, Manufacturer
+from repro.dram.rowhammer import (
+    MIN_HAMMER_COUNT,
+    STANDARD_HAMMER_COUNT,
+    DramModule,
+    hammer_test_error_rate,
+    victim_histogram,
+)
+
+VULNERABLE = DramModuleSpec(Manufacturer.A, 2013, 30, 1)
+SAFE = DramModuleSpec(Manufacturer.A, 2008, 30, 2)
+
+
+def _module(spec, seed=0):
+    return DramModule(spec, rows=2048, cells_per_row=4096, seed=seed)
+
+
+def test_no_flips_below_threshold():
+    m = _module(VULNERABLE)
+    assert m.hammer(5, MIN_HAMMER_COUNT - 1) == 0
+
+
+def test_flips_scale_with_activations():
+    m = _module(VULNERABLE)
+    rows = np.argsort(m.victims_per_row())[::-1]
+    row = int(rows[0])  # most vulnerable row
+    partial = m.hammer(row, (MIN_HAMMER_COUNT + STANDARD_HAMMER_COUNT) // 2)
+    full = m.hammer(row, STANDARD_HAMMER_COUNT)
+    assert 0 <= partial <= full
+    assert full == m.victims_per_row()[row]
+
+
+def test_safe_module_has_no_victims():
+    m = _module(SAFE)
+    assert m.total_victims() == 0
+    assert hammer_test_error_rate(SAFE, rows=512) == 0.0
+
+
+def test_vulnerable_module_rate_scales():
+    measured = hammer_test_error_rate(VULNERABLE, rows=4096, seed=3)
+    assert measured > 0
+
+
+def test_victim_histogram_shape():
+    m = _module(VULNERABLE)
+    victims, counts = victim_histogram(m, max_victims=50)
+    assert victims.shape == counts.shape == (51,)
+    assert counts.sum() == m.rows
+    # Heavy tail: some rows flip many more cells than the median row.
+    per_row = m.victims_per_row()
+    assert per_row.max() > 4 * max(np.median(per_row), 1)
+
+
+def test_validation():
+    with pytest.raises(IndexError):
+        _module(VULNERABLE).hammer(999999, STANDARD_HAMMER_COUNT)
+    with pytest.raises(ValueError):
+        _module(VULNERABLE).hammer(0, -1)
+    with pytest.raises(ValueError):
+        DramModule(VULNERABLE, rows=2, cells_per_row=8)

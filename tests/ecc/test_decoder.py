@@ -1,0 +1,55 @@
+"""Threshold decoder behavior."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import DEFAULT_ECC, EccDecoder, UncorrectableError
+
+
+@pytest.fixture
+def decoder():
+    return EccDecoder(DEFAULT_ECC)
+
+
+def _page_with_errors(n_bits: int, n_errors: int):
+    true = np.zeros(n_bits, dtype=np.uint8)
+    read = true.copy()
+    read[:n_errors] ^= 1
+    return read, true
+
+
+def test_decode_within_capability(decoder):
+    cap = DEFAULT_ECC.page_capability_bits(65536)
+    read, true = _page_with_errors(65536, cap)
+    result = decoder.decode(read, true)
+    assert result.success
+    assert result.raw_errors == cap
+    assert result.margin == 0
+
+
+def test_decode_beyond_capability_fails(decoder):
+    cap = DEFAULT_ECC.page_capability_bits(65536)
+    read, true = _page_with_errors(65536, cap + 1)
+    result = decoder.decode(read, true)
+    assert not result.success
+    assert result.margin == -1
+
+
+def test_decode_or_raise(decoder):
+    cap = DEFAULT_ECC.page_capability_bits(65536)
+    read, true = _page_with_errors(65536, cap + 5)
+    with pytest.raises(UncorrectableError) as exc:
+        decoder.decode_or_raise(read, true)
+    assert exc.value.errors == cap + 5
+    assert exc.value.capability == cap
+
+
+def test_clean_page_full_margin(decoder):
+    read, true = _page_with_errors(65536, 0)
+    result = decoder.decode_or_raise(read, true)
+    assert result.margin == DEFAULT_ECC.page_capability_bits(65536)
+
+
+def test_shape_mismatch_rejected(decoder):
+    with pytest.raises(ValueError):
+        decoder.decode(np.zeros(4), np.zeros(5))

@@ -1,0 +1,54 @@
+"""Cell array: persistent process variation and programming."""
+
+import numpy as np
+import pytest
+
+from repro.flash.cell_array import CellArray
+from repro.flash.geometry import FlashGeometry
+from repro.flash.state import MlcState
+
+
+@pytest.fixture
+def cells(rng):
+    return CellArray(FlashGeometry(blocks=1, wordlines_per_block=4, bitlines_per_block=1024), rng)
+
+
+def test_initial_state_is_erased(cells):
+    assert (cells.true_states == int(MlcState.ER)).all()
+
+
+def test_susceptibility_and_leak_are_positive(cells):
+    assert (cells.susceptibility > 0).all()
+    assert (cells.leak > 0).all()
+
+
+def test_susceptibility_persists_across_erase(cells, rng):
+    before = cells.susceptibility.copy()
+    cells.erase(pe_cycles=1000, rng=rng)
+    assert np.array_equal(cells.susceptibility, before)
+
+
+def test_program_wordline_orders_state_voltages(cells, rng):
+    states = np.repeat(np.array([0, 1, 2, 3], dtype=np.int8), 256)
+    cells.program_wordline(0, states, pe_cycles=200, rng=rng)
+    v = cells.v0[0]
+    means = [v[states == s].mean() for s in range(4)]
+    assert means[0] < means[1] < means[2] < means[3]
+
+
+def test_program_validates_shape_and_values(cells, rng):
+    with pytest.raises(ValueError):
+        cells.program_wordline(0, np.zeros(3, dtype=np.int8), 0, rng)
+    bad = np.full(1024, 7, dtype=np.int8)
+    with pytest.raises(ValueError):
+        cells.program_wordline(0, bad, 0, rng)
+
+
+def test_wear_widens_distributions(rng):
+    g = FlashGeometry(blocks=1, wordlines_per_block=2, bitlines_per_block=8192)
+    fresh = CellArray(g, np.random.default_rng(1))
+    worn = CellArray(g, np.random.default_rng(1))
+    states = np.full(8192, 2, dtype=np.int8)
+    fresh.program_wordline(0, states, pe_cycles=200, rng=np.random.default_rng(2))
+    worn.program_wordline(0, states, pe_cycles=15000, rng=np.random.default_rng(2))
+    assert worn.v0[0].std() > fresh.v0[0].std()

@@ -1,0 +1,50 @@
+"""Chip-level command surface."""
+
+import numpy as np
+import pytest
+
+from repro.flash import FlashChip, FlashGeometry
+
+
+def test_chip_builds_blocks(chip):
+    assert len(chip.blocks) == chip.geometry.blocks
+    assert chip.block(0) is chip.blocks[0]
+
+
+def test_clock_advances_and_rejects_reversal(chip):
+    chip.advance_time(100.0)
+    assert chip.now == 100.0
+    with pytest.raises(ValueError):
+        chip.advance_time(-1.0)
+
+
+def test_read_records_disturb(chip):
+    chip.erase_block(0)
+    chip.program_block_random(0)
+    chip.read(0, 0)
+    assert chip.blocks[0].total_reads == 1
+    assert chip.blocks[1].total_reads == 0
+
+
+def test_read_retry_shifts_references(chip):
+    chip.erase_block(0)
+    chip.program_block_random(0)
+    base = chip.read_retry(0, 0, (0.0, 0.0, 0.0))
+    shifted = chip.read_retry(0, 0, (-60.0, -60.0, -60.0))
+    # Lower references push sensed states upward on average.
+    assert shifted.mean() >= base.mean()
+
+
+def test_chips_with_same_seed_identical():
+    g = FlashGeometry(blocks=1, wordlines_per_block=4, bitlines_per_block=256)
+    a, b = FlashChip(g, seed=5), FlashChip(g, seed=5)
+    a.erase_block(0); b.erase_block(0)
+    a.program_block_random(0); b.program_block_random(0)
+    assert np.array_equal(a.blocks[0].cells.v0, b.blocks[0].cells.v0)
+    assert np.array_equal(a.blocks[0].cells.true_states, b.blocks[0].cells.true_states)
+
+
+def test_chips_with_different_seeds_differ():
+    g = FlashGeometry(blocks=1, wordlines_per_block=4, bitlines_per_block=256)
+    a, b = FlashChip(g, seed=5), FlashChip(g, seed=6)
+    assert not np.array_equal(a.blocks[0].cells.susceptibility, b.blocks[0].cells.susceptibility)

@@ -1,0 +1,55 @@
+"""Error accounting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.flash.errors import (
+    count_bit_errors,
+    measure_rber,
+    page_bits_from_states,
+    state_error_breakdown,
+    state_transition_matrix,
+)
+
+
+def test_count_and_rber():
+    a = np.array([1, 0, 1, 1], dtype=np.uint8)
+    b = np.array([1, 1, 1, 0], dtype=np.uint8)
+    assert count_bit_errors(a, b) == 2
+    assert measure_rber(a, b) == pytest.approx(0.5)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        count_bit_errors(np.zeros(3), np.zeros(4))
+
+
+def test_empty_rber_rejected():
+    with pytest.raises(ValueError):
+        measure_rber(np.array([]), np.array([]))
+
+
+def test_transition_matrix_counts():
+    true = np.array([0, 0, 1, 2, 3])
+    sensed = np.array([0, 1, 1, 2, 2])
+    t = state_transition_matrix(true, sensed)
+    assert t[0, 0] == 1 and t[0, 1] == 1 and t[1, 1] == 1
+    assert t[2, 2] == 1 and t[3, 2] == 1
+    assert t.sum() == 5
+
+
+def test_breakdown_directions():
+    true = np.array([0, 1, 3])
+    sensed = np.array([1, 1, 2])
+    b = state_error_breakdown(true, sensed)
+    assert b.total_bits == 6
+    assert b.upward_state_errors == 1
+    assert b.downward_state_errors == 1
+    assert b.bit_errors == 2  # adjacent misreads cost one bit each
+    assert b.rber == pytest.approx(2 / 6)
+
+
+def test_page_bits_from_states():
+    states = np.array([0, 1, 2, 3])
+    assert list(page_bits_from_states(states, is_msb=False)) == [1, 1, 0, 0]
+    assert list(page_bits_from_states(states, is_msb=True)) == [1, 0, 0, 1]

@@ -1,0 +1,43 @@
+"""Chip geometry arithmetic."""
+
+import pytest
+
+from repro.flash.geometry import FlashGeometry
+
+
+def test_derived_quantities():
+    g = FlashGeometry(blocks=4, wordlines_per_block=16, bitlines_per_block=128)
+    assert g.cells_per_block == 2048
+    assert g.pages_per_block == 32
+    assert g.bits_per_page == 128
+    assert g.bits_per_block == 4096
+    assert g.total_cells == 8192
+
+
+def test_page_wordline_mapping_roundtrip():
+    g = FlashGeometry(blocks=1, wordlines_per_block=8, bitlines_per_block=16)
+    for wordline in range(g.wordlines_per_block):
+        lsb_page, msb_page = g.wordline_to_pages(wordline)
+        assert g.page_to_wordline(lsb_page) == (wordline, False)
+        assert g.page_to_wordline(msb_page) == (wordline, True)
+
+
+def test_page_bounds_checked():
+    g = FlashGeometry(blocks=1, wordlines_per_block=4, bitlines_per_block=16)
+    with pytest.raises(IndexError):
+        g.page_to_wordline(8)
+    with pytest.raises(IndexError):
+        g.wordline_to_pages(4)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"blocks": 0},
+        {"wordlines_per_block": 1},
+        {"bitlines_per_block": 0},
+    ],
+)
+def test_invalid_geometry_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FlashGeometry(**kwargs)

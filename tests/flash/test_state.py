@@ -1,0 +1,80 @@
+"""MLC state gray coding."""
+
+import numpy as np
+import pytest
+
+from repro.flash.state import (
+    MlcState,
+    STATE_ORDER,
+    bit_errors_between,
+    bits_to_state,
+    lsb_of_state,
+    msb_of_state,
+    state_to_bits,
+    states_from_bits,
+)
+
+
+def test_paper_figure1_gray_code():
+    assert state_to_bits(MlcState.ER) == (1, 1)
+    assert state_to_bits(MlcState.P1) == (1, 0)
+    assert state_to_bits(MlcState.P2) == (0, 0)
+    assert state_to_bits(MlcState.P3) == (0, 1)
+
+
+def test_state_order_is_by_voltage():
+    assert [int(s) for s in STATE_ORDER] == [0, 1, 2, 3]
+
+
+def test_bits_roundtrip_all_states():
+    for state in MlcState:
+        lsb, msb = state_to_bits(state)
+        assert bits_to_state(lsb, msb) is state
+
+
+def test_bits_to_state_rejects_non_bits():
+    with pytest.raises(ValueError):
+        bits_to_state(2, 0)
+    with pytest.raises(ValueError):
+        bits_to_state(0, -1)
+
+
+def test_vectorized_tables_match_scalar():
+    states = np.array([0, 1, 2, 3])
+    assert list(lsb_of_state(states)) == [state_to_bits(MlcState(s))[0] for s in states]
+    assert list(msb_of_state(states)) == [state_to_bits(MlcState(s))[1] for s in states]
+
+
+def test_states_from_bits_roundtrip_array():
+    states = np.array([0, 1, 2, 3, 3, 0])
+    rebuilt = states_from_bits(lsb_of_state(states), msb_of_state(states))
+    assert np.array_equal(rebuilt, states)
+
+
+def test_states_from_bits_validates_input():
+    with pytest.raises(ValueError):
+        states_from_bits(np.array([0, 2]), np.array([0, 0]))
+    with pytest.raises(ValueError):
+        states_from_bits(np.array([0]), np.array([0, 1]))
+
+
+def test_adjacent_states_differ_by_one_bit():
+    """The defining gray-code property: adjacent misreads cost one bit."""
+    for a, b in zip(STATE_ORDER[:-1], STATE_ORDER[1:]):
+        errs = bit_errors_between(np.array([int(a)]), np.array([int(b)]))
+        assert errs[0] == 1
+
+
+def test_skip_misreads_can_cost_two_bits():
+    errs = bit_errors_between(np.array([int(MlcState.ER)]), np.array([int(MlcState.P2)]))
+    assert errs[0] == 2
+
+
+def test_bit_errors_symmetric_and_zero_on_diagonal():
+    for a in range(4):
+        for b in range(4):
+            ab = bit_errors_between(np.array([a]), np.array([b]))[0]
+            ba = bit_errors_between(np.array([b]), np.array([a]))[0]
+            assert ab == ba
+            if a == b:
+                assert ab == 0

@@ -1,0 +1,34 @@
+"""Workload trace -> read pressure -> endurance, the Figure 8 pipeline."""
+
+import pytest
+
+from repro.controller.stats import hottest_block_reads_per_day
+from repro.model import BaselinePolicy, TunedVpassPolicy, endurance
+from repro.workloads import get_workload
+
+
+@pytest.mark.parametrize("name,expect_gain", [("web_0", True), ("wdev_0", False)])
+def test_workload_to_endurance(fast_model, name, expect_gain):
+    trace = get_workload(name, seed=7).generate(0.5)
+    pressure = hottest_block_reads_per_day(trace, pages_per_block=256)
+    base = endurance(fast_model, pressure, BaselinePolicy, pe_resolution=200)
+    tuned = endurance(fast_model, pressure, lambda: TunedVpassPolicy(), pe_resolution=200)
+    assert base > 0
+    gain = tuned / base - 1
+    if expect_gain:
+        # Read-hot workload: tuning buys a clearly visible extension.
+        assert gain > 0.15
+    else:
+        # Write-heavy workload: little disturb, little to gain.
+        assert gain < 0.10
+
+
+def test_read_hot_workloads_have_lower_baseline(fast_model):
+    hot = get_workload("prxy_0", seed=7).generate(0.5)
+    cold = get_workload("stg_0", seed=7).generate(0.5)
+    hot_pressure = hottest_block_reads_per_day(hot, 256)
+    cold_pressure = hottest_block_reads_per_day(cold, 256)
+    assert hot_pressure > 3 * cold_pressure
+    hot_end = endurance(fast_model, hot_pressure, BaselinePolicy, pe_resolution=200)
+    cold_end = endurance(fast_model, cold_pressure, BaselinePolicy, pe_resolution=200)
+    assert hot_end < cold_end

@@ -1,0 +1,74 @@
+"""The Monte-Carlo chip and the analytic channel model must agree.
+
+This is the load-bearing integration test: the characterization figures
+come from the chip, the lifetime studies from the model, and the paper's
+claims only transfer if both layers express the same physics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flash import FlashBlock, FlashGeometry
+from repro.model import FlashChannelModel
+from repro.rng import RngFactory
+from repro.units import days
+
+GEOMETRY = FlashGeometry(blocks=1, wordlines_per_block=16, bitlines_per_block=16384)
+
+
+def _mc_rber(pe: int, reads: int, age: float, seeds=(0, 1)) -> float:
+    values = []
+    for seed in seeds:
+        block = FlashBlock(GEOMETRY, RngFactory(seed))
+        block.cycle_wear_to(pe)
+        block.program_random()
+        block.apply_read_disturb(reads)
+        values.append(block.measure_block_rber(now=age))
+    return float(np.mean(values))
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FlashChannelModel(wordlines_per_block=16, grid_points=900, leak_nodes=7)
+
+
+@pytest.mark.parametrize(
+    "pe,reads,age_days",
+    [
+        (8000, 0, 0.05),
+        (8000, 100_000, 1.0),
+        (15000, 50_000, 3.0),
+        (3000, 200_000, 7.0),
+    ],
+)
+def test_rber_agreement(model, pe, reads, age_days):
+    mc = _mc_rber(pe, reads, days(age_days))
+    # Uniform disturb: every wordline absorbs (W-1)/W of the reads.
+    w = GEOMETRY.wordlines_per_block
+    analytic = model.rber_at_exposure(pe, days(age_days), reads * (w - 1) / w)
+    assert mc == pytest.approx(analytic, rel=0.25)
+
+
+def test_pass_through_agreement(model):
+    """Extra errors from a relaxed-Vpass read: chip vs. analytic.
+
+    A relaxed Vpass cuts off a bitline whenever *any* cell on it sits above
+    the threshold; with only a handful of such cells per block the outcome
+    is strongly correlated across pages, so the estimate averages several
+    independent blocks and reads every page.
+    """
+    vpass = 475.0
+    extra_bits = 0
+    total_bits = 0
+    for seed in range(8):
+        block = FlashBlock(GEOMETRY, RngFactory(100 + seed))
+        block.cycle_wear_to(8000)
+        block.program_random()
+        for page in range(GEOMETRY.pages_per_block):
+            nominal = block.page_error_count(page, record_disturb=False)
+            relaxed = block.page_error_count(page, vpass=vpass, record_disturb=False)
+            extra_bits += max(relaxed - nominal, 0)
+            total_bits += GEOMETRY.bits_per_page
+    mc = extra_bits / total_bits
+    analytic = model.additional_pass_through_rber(vpass, 8000, 0.0)
+    assert mc == pytest.approx(analytic, rel=0.6)

@@ -1,0 +1,83 @@
+"""The paper's headline quantitative claims, end to end.
+
+Each test pins one number the abstract or evaluation reports:
+- Figure 3's slope table (seven wear levels, slopes 1.0e-9 .. 1.9e-8);
+- "lowering Vpass by 2% can reduce the RBER by as much as 50%" at 100K;
+- Vpass can be safely reduced by ~4% at low retention age (Figure 6);
+- Vpass Tuning extends endurance by ~21% on average (Figure 8);
+- RDR reduces RBER by ~36% at 1M reads (Figure 10).
+
+Absolute tolerances are generous (the authors' chips are proprietary);
+orderings and rough magnitudes are the reproduction targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import rber_vs_read_disturb, rdr_experiment
+from repro.core import VpassTuner
+from repro.flash import FlashGeometry
+from repro.model import BaselinePolicy, TunedVpassPolicy, endurance
+from repro.model.lifetime import AnalyticTunableBlock
+from repro.units import VPASS_NOMINAL, days, hours
+
+PAPER_SLOPES = {
+    2000: 1.00e-9,
+    3000: 1.63e-9,
+    4000: 2.37e-9,
+    5000: 3.74e-9,
+    8000: 7.50e-9,
+    10000: 9.10e-9,
+    15000: 1.90e-8,
+}
+
+
+def test_figure3_slope_table(fast_model):
+    series = rber_vs_read_disturb(
+        pe_values=tuple(PAPER_SLOPES), reads=np.arange(0, 100_001, 25_000),
+        model=fast_model,
+    )
+    slopes = {s.pe_cycles: s.slope for s in series}
+    for pe, paper in PAPER_SLOPES.items():
+        assert slopes[pe] == pytest.approx(paper, rel=0.6), f"slope at {pe} P/E"
+    ordered = [slopes[pe] for pe in sorted(slopes)]
+    assert ordered == sorted(ordered)
+
+
+def test_two_percent_vpass_cut_halves_rber(fast_model):
+    full = fast_model.rber(8000, hours(1), 1e5, vpass_emulated_via_vref=True)
+    cut = fast_model.rber(
+        8000, hours(1), 1e5, vpass=0.98 * VPASS_NOMINAL, vpass_emulated_via_vref=True
+    )
+    assert 1 - cut / full >= 0.45
+
+
+def test_safe_vpass_reduction_schedule(fast_model):
+    """~4% reduction at low ages, falling to fallback by three weeks."""
+    tuner = VpassTuner()
+    young = tuner.tune_after_refresh(
+        AnalyticTunableBlock(model=fast_model, pe_cycles=8000, age_seconds=days(0))
+    )
+    old = tuner.tune_after_refresh(
+        AnalyticTunableBlock(model=fast_model, pe_cycles=8000, age_seconds=days(21))
+    )
+    assert 3.0 <= young.reduction_percent <= 7.0
+    assert old.fell_back or old.reduction_percent <= 1.0
+
+
+def test_endurance_improvement_on_read_hot_block(fast_model):
+    base = endurance(fast_model, 20_000, BaselinePolicy)
+    tuned = endurance(fast_model, 20_000, lambda: TunedVpassPolicy())
+    gain = tuned / base - 1
+    assert 0.10 <= gain <= 0.80
+
+
+def test_rdr_reduction_at_one_million_reads():
+    points = rdr_experiment(
+        read_counts=(1_000_000,),
+        geometry=FlashGeometry(blocks=1, wordlines_per_block=16, bitlines_per_block=8192),
+        wordlines=(0, 4),
+        seed=5,
+    )
+    # Paper: 36% at 1M reads; accept a broad band around it.
+    assert 20.0 <= points[0].reduction_percent <= 60.0

@@ -1,0 +1,34 @@
+"""RDR rescues a page that ECC declared uncorrectable (Section 4's story)."""
+
+import pytest
+
+from repro.core import ReadDisturbRecovery
+from repro.ecc import EccConfig, EccDecoder, UncorrectableError
+from repro.flash import FlashBlock, FlashGeometry
+from repro.rng import RngFactory
+
+
+def test_rdr_brings_page_back_within_ecc_reach():
+    geometry = FlashGeometry(blocks=1, wordlines_per_block=16, bitlines_per_block=8192)
+    # A deliberately weak code so the disturbed page is uncorrectable.
+    ecc = EccConfig(codeword_bits=9216, correctable_bits=24)
+    decoder = EccDecoder(ecc)
+
+    block = FlashBlock(geometry, RngFactory(21))
+    block.cycle_wear_to(8000)
+    block.program_random()
+    block.apply_read_disturb(1_000_000, target_wordline=1)
+
+    # Read disturb flips ER into P1, which under gray coding corrupts the
+    # MSB page of the wordline.
+    wordline = 0
+    msb_page = 2 * wordline + 1
+    read_bits = block.read_page(msb_page)
+    true_bits = block.expected_page_bits(msb_page)
+    with pytest.raises(UncorrectableError):
+        decoder.decode_or_raise(read_bits, true_bits)
+
+    outcome = ReadDisturbRecovery().recover_wordline(block, wordline)
+    errors_before = outcome.bit_errors_before
+    errors_after = outcome.bit_errors_after
+    assert errors_after < 0.7 * errors_before

@@ -1,0 +1,75 @@
+"""Lifetime and endurance machinery."""
+
+import pytest
+
+from repro.ecc import DEFAULT_ECC
+from repro.model import BaselinePolicy, TunedVpassPolicy, endurance, worst_case_rber
+from repro.model.lifetime import (
+    AnalyticTunableBlock,
+    refresh_interval_series,
+    simulate_refresh_interval,
+)
+from repro.units import VPASS_NOMINAL
+
+
+def test_interval_rber_grows_daily(fast_model):
+    records = simulate_refresh_interval(
+        fast_model, 8000, 10_000, BaselinePolicy(), interval_days=7
+    )
+    assert len(records) == 7
+    rbers = [r.rber_end_of_day for r in records]
+    assert rbers == sorted(rbers)
+    assert all(r.vpass == VPASS_NOMINAL for r in records)
+
+
+def test_tuned_policy_relaxes_vpass(fast_model):
+    policy = TunedVpassPolicy()
+    records = simulate_refresh_interval(fast_model, 8000, 10_000, policy, interval_days=7)
+    assert records[0].vpass < VPASS_NOMINAL
+    # Vpass never drops further mid-interval (Action 1 only raises).
+    vpasses = [r.vpass for r in records]
+    assert all(b >= a for a, b in zip(vpasses, vpasses[1:]))
+
+
+def test_tuning_reduces_worst_case_rber(fast_model):
+    base = worst_case_rber(fast_model, 8000, 30_000, BaselinePolicy())
+    tuned = worst_case_rber(fast_model, 8000, 30_000, TunedVpassPolicy())
+    assert tuned < base
+
+
+def test_endurance_decreases_with_read_pressure(fast_model):
+    light = endurance(fast_model, 1_000, BaselinePolicy)
+    heavy = endurance(fast_model, 50_000, BaselinePolicy)
+    assert heavy < light
+
+
+def test_tuning_extends_endurance(fast_model):
+    base = endurance(fast_model, 20_000, BaselinePolicy)
+    tuned = endurance(fast_model, 20_000, lambda: TunedVpassPolicy())
+    assert tuned > base * 1.05
+
+
+def test_endurance_zero_when_unreachable(fast_model):
+    assert endurance(fast_model, 1e9, BaselinePolicy, pe_min=5000) == 0
+
+
+def test_refresh_interval_series_peaks_reduced(fast_model):
+    series = refresh_interval_series(fast_model, 8000, 30_000, intervals=2)
+    assert len(series["day"]) == 14
+    # Mitigation lowers the end-of-interval peaks (Figure 7).
+    peak_unmitigated = max(series["unmitigated"])
+    peak_mitigated = max(series["mitigated"])
+    assert peak_mitigated < peak_unmitigated
+
+
+def test_analytic_block_protocol(fast_model):
+    blk = AnalyticTunableBlock(model=fast_model, pe_cycles=8000)
+    assert blk.page_bits == 65536
+    assert blk.measure_worst_page_errors() >= 0
+    assert blk.measure_extra_errors(VPASS_NOMINAL) == 0
+    assert blk.measure_extra_errors(480.0) > 0
+
+
+def test_negative_reads_rejected(fast_model):
+    with pytest.raises(ValueError):
+        simulate_refresh_interval(fast_model, 8000, -1, BaselinePolicy())

@@ -1,0 +1,86 @@
+"""Analytic flash-channel model."""
+
+import numpy as np
+import pytest
+
+from repro.model import FlashChannelModel
+from repro.units import VPASS_NOMINAL, days, hours
+
+
+def test_misread_matrix_rows_sum_to_one(fast_model):
+    m = fast_model.misread_matrix(8000, days(1), 1e5)
+    assert np.allclose(m.sum(axis=1), 1.0, atol=1e-9)
+    assert (m >= 0).all()
+    # Diagonal dominates: most cells are read correctly.
+    assert (np.diag(m) > 0.9).all()
+
+
+def test_rber_monotone_in_reads(fast_model):
+    rs = [fast_model.rber(8000, hours(1), n, include_pass_through=False)
+          for n in (0, 1e4, 1e5, 1e6)]
+    assert rs == sorted(rs)
+
+
+def test_rber_monotone_in_wear(fast_model):
+    rs = [fast_model.rber(pe, hours(1), 5e4, include_pass_through=False)
+          for pe in (2000, 5000, 8000, 15000)]
+    assert rs == sorted(rs)
+
+
+def test_rber_monotone_in_retention_age(fast_model):
+    rs = [fast_model.rber(8000, days(d), 0, include_pass_through=False)
+          for d in (0, 1, 7, 21)]
+    assert rs == sorted(rs)
+
+
+def test_relaxed_vpass_reduces_disturb_rber(fast_model):
+    nominal = fast_model.rber(8000, hours(1), 1e5, vpass_emulated_via_vref=True)
+    relaxed = fast_model.rber(
+        8000, hours(1), 1e5, vpass=0.98 * VPASS_NOMINAL, vpass_emulated_via_vref=True
+    )
+    assert relaxed < 0.7 * nominal
+
+
+def test_emulated_vpass_has_no_pass_through_errors(fast_model):
+    """The paper's Vref emulation shows the disturb effect only."""
+    emulated = fast_model.rber(8000, hours(1), 0, vpass=470.0, vpass_emulated_via_vref=True)
+    real = fast_model.rber(8000, hours(1), 0, vpass=470.0, include_pass_through=True)
+    assert real > emulated
+
+
+def test_breakdown_components_sum(fast_model):
+    b = fast_model.rber_breakdown(8000, days(3), 5e4, vpass=490.0)
+    assert b.total == pytest.approx(
+        b.baseline + b.retention + b.read_disturb + b.pass_through, rel=1e-9
+    )
+    assert b.baseline > 0 and b.retention > 0 and b.read_disturb > 0
+    assert b.pass_through >= 0
+
+
+def test_exposure_equivalence(fast_model):
+    """rber(reads, vpass) equals rber_at_exposure with the weighted count."""
+    reads, vpass = 2e5, 0.99 * VPASS_NOMINAL
+    direct = fast_model.rber(8000, days(1), reads, vpass=vpass, include_pass_through=False)
+    via_exposure = fast_model.rber_at_exposure(
+        8000, days(1), fast_model.exposure(reads, vpass)
+    )
+    assert direct == pytest.approx(via_exposure, rel=1e-12)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        FlashChannelModel(state_fractions=(0.5, 0.5, 0.5, 0.5))
+    with pytest.raises(ValueError):
+        FlashChannelModel(references=(300.0, 200.0, 100.0))
+    with pytest.raises(ValueError):
+        FlashChannelModel(leak_nodes=0)
+
+
+def test_figure3_slope_calibration(fast_model):
+    """Fitted slope at 8K P/E within 2x of the paper's 7.5e-9 per read."""
+    reads = np.array([0.0, 2.5e4, 5e4, 7.5e4, 1e5])
+    rber = np.array(
+        [fast_model.rber(8000, hours(1), n, include_pass_through=False) for n in reads]
+    )
+    slope = np.polyfit(reads, rber, 1)[0]
+    assert 7.5e-9 / 2 < slope < 7.5e-9 * 2

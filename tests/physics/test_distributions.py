@@ -1,0 +1,86 @@
+"""State distribution math: mixture CDF/PDF/sampling and truncation."""
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.flash.state import MlcState
+from repro.physics import constants
+from repro.physics.distributions import (
+    AsymmetricLaplace,
+    NormalLaplaceMixture,
+    state_distribution,
+)
+
+
+def test_asymmetric_laplace_cdf_limits():
+    lap = AsymmetricLaplace(mu=100.0, scale_low=10.0, scale_high=5.0)
+    assert lap.cdf(-1e6) == pytest.approx(0.0, abs=1e-12)
+    assert lap.cdf(1e6) == pytest.approx(1.0, abs=1e-12)
+    # At the mode, CDF equals the low-side mass share.
+    assert lap.cdf(100.0) == pytest.approx(10.0 / 15.0)
+
+
+def test_asymmetric_laplace_pdf_integrates_to_one():
+    lap = AsymmetricLaplace(mu=50.0, scale_low=8.0, scale_high=12.0)
+    total, _ = quad(lap.pdf, -400, 500)
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+def test_asymmetric_laplace_sample_statistics(rng):
+    lap = AsymmetricLaplace(mu=0.0, scale_low=5.0, scale_high=15.0)
+    x = lap.sample(rng, 200_000)
+    # Mean of an asymmetric Laplace is mu + (s_hi - s_lo).
+    assert x.mean() == pytest.approx(10.0, abs=0.3)
+
+
+def test_mixture_cdf_monotone_and_bounded():
+    mix = NormalLaplaceMixture(100.0, 10.0, 0.05, 8.0, 8.0, upper_bound=150.0)
+    xs = np.linspace(-50, 200, 400)
+    cdf = mix.cdf(xs)
+    assert (np.diff(cdf) >= -1e-12).all()
+    assert cdf[0] == pytest.approx(0.0, abs=1e-6)
+    assert cdf[-1] == pytest.approx(1.0, abs=1e-12)
+
+
+def test_truncation_removes_upper_mass(rng):
+    mix = NormalLaplaceMixture(480.0, 10.0, 0.05, 8.0, 8.0, upper_bound=500.0)
+    samples = mix.sample(rng, 50_000)
+    assert samples.max() <= 500.0
+    assert mix.sf(500.0) == pytest.approx(0.0, abs=1e-12)
+    # Mass below the bound is renormalized upward.
+    untruncated = NormalLaplaceMixture(480.0, 10.0, 0.05, 8.0, 8.0)
+    assert mix.cdf(490.0) > untruncated.cdf(490.0)
+
+
+def test_sample_distribution_matches_cdf(rng):
+    mix = NormalLaplaceMixture(200.0, 12.0, 0.06, 10.0, 9.0, upper_bound=500.0)
+    samples = mix.sample(rng, 100_000)
+    for x in [170.0, 200.0, 230.0]:
+        empirical = (samples <= x).mean()
+        assert empirical == pytest.approx(float(mix.cdf(x)), abs=0.01)
+
+
+def test_state_distribution_ordering():
+    dists = [state_distribution(s, 1000) for s in MlcState]
+    mus = [d.mu for d in dists]
+    assert mus == sorted(mus)
+    # States stay between the references appropriately.
+    assert dists[0].mu < constants.VA < dists[1].mu < constants.VB
+    assert dists[2].mu < constants.VC < dists[3].mu
+
+
+def test_wear_widens_and_creeps():
+    fresh = state_distribution(MlcState.ER, 200)
+    worn = state_distribution(MlcState.ER, 15000)
+    assert worn.sigma > fresh.sigma
+    assert worn.mu > fresh.mu
+
+
+def test_invalid_mixture_parameters():
+    with pytest.raises(ValueError):
+        NormalLaplaceMixture(0.0, -1.0, 0.05, 5.0, 5.0)
+    with pytest.raises(ValueError):
+        NormalLaplaceMixture(0.0, 1.0, 1.5, 5.0, 5.0)
+    with pytest.raises(ValueError):
+        AsymmetricLaplace(0.0, 0.0, 1.0)

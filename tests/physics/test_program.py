@@ -1,0 +1,41 @@
+"""Program error model."""
+
+import numpy as np
+import pytest
+
+from repro.physics.program import (
+    apply_program_errors,
+    program_error_rate,
+    program_error_rber,
+)
+
+
+def test_rate_grows_with_wear():
+    assert program_error_rate(15000) > program_error_rate(2000) > 0
+
+
+def test_rber_is_half_the_rate():
+    assert program_error_rber(8000) == pytest.approx(program_error_rate(8000) / 2)
+
+
+def test_negative_pe_rejected():
+    with pytest.raises(ValueError):
+        program_error_rate(-1)
+
+
+def test_apply_moves_to_adjacent_states(rng):
+    states = rng.integers(0, 4, 200_000).astype(np.int8)
+    landed = apply_program_errors(states, 15000, rng)
+    moved = landed != states
+    assert moved.mean() == pytest.approx(program_error_rate(15000), rel=0.15)
+    # Every mis-program is exactly one state away.
+    assert (np.abs(landed[moved].astype(int) - states[moved].astype(int)) == 1).all()
+    # Top state can only undershoot.
+    assert (landed[(states == 3) & moved] == 2).all()
+
+
+def test_ground_truth_untouched(rng):
+    states = rng.integers(0, 4, 1000).astype(np.int8)
+    original = states.copy()
+    apply_program_errors(states, 8000, rng)
+    assert np.array_equal(states, original)

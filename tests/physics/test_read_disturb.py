@@ -1,0 +1,89 @@
+"""Read-disturb drift law: closed form, monotonicity, inversion."""
+
+import numpy as np
+import pytest
+
+from repro.physics.read_disturb import (
+    DEFAULT_READ_DISTURB,
+    ReadDisturbModel,
+    vpass_exposure_weight,
+)
+
+
+def test_drift_is_nonnegative_and_monotone_in_exposure():
+    m = DEFAULT_READ_DISTURB
+    v0 = np.array([40.0, 160.0, 290.0, 420.0])
+    prev = v0
+    for n in [0, 1e3, 1e4, 1e5, 1e6]:
+        v = m.drifted_voltage(v0, n, 1.0, 8000)
+        assert (v >= prev - 1e-12).all()
+        prev = v
+
+
+def test_lower_voltage_cells_shift_more():
+    m = DEFAULT_READ_DISTURB
+    drift = m.drift(np.array([40.0, 160.0, 290.0, 420.0]), 1e5, 1.0, 8000)
+    assert drift[0] > drift[1] > drift[2] > drift[3]
+    # The erased state dominates by a large factor (paper Section 2.1).
+    assert drift[0] > 20 * drift[1]
+
+
+def test_drift_scales_with_wear():
+    m = DEFAULT_READ_DISTURB
+    low = m.drift(40.0, 1e5, 1.0, 2000)
+    high = m.drift(40.0, 1e5, 1.0, 15000)
+    assert high > 2 * low
+
+
+def test_drift_scales_with_susceptibility():
+    m = DEFAULT_READ_DISTURB
+    weak = m.drift(40.0, 1e4, 50.0, 8000)
+    normal = m.drift(40.0, 1e4, 1.0, 8000)
+    assert weak > normal
+
+
+def test_drift_is_self_limiting():
+    """Equal exposure increments produce shrinking voltage increments."""
+    m = DEFAULT_READ_DISTURB
+    v1 = float(m.drifted_voltage(40.0, 1e6, 10.0, 8000))
+    v2 = float(m.drifted_voltage(40.0, 2e6, 10.0, 8000))
+    v3 = float(m.drifted_voltage(40.0, 3e6, 10.0, 8000))
+    assert (v2 - v1) > (v3 - v2) > 0
+
+
+def test_vpass_weight_calibration():
+    """1% Vpass relaxation divides the disturb rate by ~e^1.1 (Figure 4)."""
+    w = vpass_exposure_weight(512.0 * 0.99) / vpass_exposure_weight(512.0)
+    assert w == pytest.approx(np.exp(-1.1), rel=0.05)
+    assert vpass_exposure_weight(512.0) == pytest.approx(1.0)
+
+
+def test_required_susceptibility_inverts_drift():
+    m = DEFAULT_READ_DISTURB
+    v0 = np.array([50.0, 80.0])
+    exposure = 2e5
+    a_req = m.required_susceptibility(v0, 100.0, exposure, 8000)
+    # A cell exactly at the required susceptibility lands exactly on target.
+    landed = m.drifted_voltage(v0, exposure, a_req, 8000)
+    assert np.allclose(landed, 100.0, atol=1e-6)
+    # Slightly weaker cells fall short; stronger cells overshoot.
+    assert (m.drifted_voltage(v0, exposure, a_req * 0.9, 8000) < 100.0).all()
+    assert (m.drifted_voltage(v0, exposure, a_req * 1.1, 8000) > 100.0).all()
+
+
+def test_required_susceptibility_edge_cases():
+    m = DEFAULT_READ_DISTURB
+    # Already above target: zero susceptibility suffices.
+    assert m.required_susceptibility(np.array([150.0]), 100.0, 1e5, 8000)[0] == 0.0
+    # No exposure: unreachable.
+    assert np.isinf(m.required_susceptibility(np.array([50.0]), 100.0, 0.0, 8000)[0])
+
+
+def test_invalid_arguments():
+    m = DEFAULT_READ_DISTURB
+    with pytest.raises(ValueError):
+        m.drifted_voltage(40.0, -1.0, 1.0, 8000)
+    with pytest.raises(ValueError):
+        vpass_exposure_weight(0.0)
+    with pytest.raises(ValueError):
+        m.required_susceptibility(np.array([40.0]), 100.0, -5.0, 8000)

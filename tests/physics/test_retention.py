@@ -1,0 +1,78 @@
+"""Retention leakage: log-time law, charge proportionality, leak spread."""
+
+import numpy as np
+import pytest
+
+from repro.physics import constants
+from repro.physics.retention import (
+    leak_cdf,
+    leak_quadrature,
+    retained_voltage,
+    retention_shift,
+    retention_threshold_inverse,
+    sample_leak_factors,
+)
+from repro.units import days
+
+
+def test_no_shift_at_time_zero():
+    assert retention_shift(400.0, 0.0, 8000) == pytest.approx(0.0)
+
+
+def test_shift_is_negative_and_grows_logarithmically():
+    s1 = float(retention_shift(420.0, days(1), 8000))
+    s7 = float(retention_shift(420.0, days(7), 8000))
+    s21 = float(retention_shift(420.0, days(21), 8000))
+    assert s21 < s7 < s1 < 0
+    # Log-time: the 7->21 day increment is smaller than the 1->7 one.
+    assert abs(s21 - s7) < abs(s7 - s1)
+
+
+def test_higher_states_leak_more():
+    shifts = retention_shift(np.array([40.0, 165.0, 290.0, 420.0]), days(7), 8000)
+    assert shifts[0] == pytest.approx(0.0)  # at the charge floor
+    assert shifts[1] > shifts[2] > shifts[3]  # more negative higher up
+
+
+def test_wear_accelerates_retention():
+    low = float(retention_shift(420.0, days(7), 2000))
+    high = float(retention_shift(420.0, days(7), 15000))
+    assert high < low < 0
+
+
+def test_retained_voltage_floors():
+    # A huge leak factor cannot drag a cell below the charge floor.
+    v = retained_voltage(400.0, days(21), 15000, leak=50.0)
+    assert v >= constants.RET_CHARGE_FLOOR - 1e-9
+    # Erased cells do not move at all.
+    assert retained_voltage(30.0, days(21), 15000) == pytest.approx(30.0)
+
+
+def test_negative_age_rejected():
+    with pytest.raises(ValueError):
+        retention_shift(400.0, -1.0, 8000)
+
+
+def test_leak_factors_unit_mean(rng):
+    leaks = sample_leak_factors(rng, 200_000)
+    assert leaks.mean() == pytest.approx(1.0, abs=0.02)
+    assert (leaks > 0).all()
+
+
+def test_leak_cdf_matches_samples(rng):
+    leaks = sample_leak_factors(rng, 100_000)
+    for x in [0.5, 1.0, 2.0]:
+        assert (leaks <= x).mean() == pytest.approx(float(leak_cdf(x)), abs=0.01)
+    assert leak_cdf(0.0) == 0.0
+
+
+def test_leak_quadrature_integrates_mean():
+    nodes, weights = leak_quadrature(9)
+    assert weights.sum() == pytest.approx(1.0, abs=1e-9)
+    assert float(nodes @ weights) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_threshold_inverse_roundtrip():
+    for age, leak in [(days(1), 1.0), (days(21), 0.3), (days(7), 2.0)]:
+        v0 = retention_threshold_inverse(480.0, age, 8000, leak=leak)
+        assert float(retained_voltage(v0, age, 8000, leak=leak)) == pytest.approx(480.0, abs=1e-6)

@@ -1,0 +1,48 @@
+"""Per-cell susceptibility mixture: sampling vs. analytic survival."""
+
+import numpy as np
+import pytest
+
+from repro.physics.susceptibility import DEFAULT_SUSCEPTIBILITY, SusceptibilityModel
+
+
+def test_samples_match_survival(rng):
+    m = DEFAULT_SUSCEPTIBILITY
+    a = m.sample(rng, 400_000)
+    for x in [0.5, 1.0, 2.0, 15.0, 100.0, 1000.0]:
+        empirical = (a > x).mean()
+        assert empirical == pytest.approx(float(m.survival(x)), abs=3e-3)
+
+
+def test_survival_limits_and_monotonicity():
+    m = DEFAULT_SUSCEPTIBILITY
+    xs = np.logspace(-2, 5, 200)
+    s = m.survival(xs)
+    assert (np.diff(s) <= 1e-12).all()
+    assert m.survival(0.0) == pytest.approx(1.0)
+    assert float(m.survival(np.inf)) == pytest.approx(0.0)
+    assert m.survival(m.weak_a_max * 2) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_pareto_tail_is_inverse_linear():
+    """S(a) ~ 1/a in the weak range: the linearity driver of Figure 3."""
+    m = DEFAULT_SUSCEPTIBILITY
+    s100 = float(m.survival(100.0))
+    s200 = float(m.survival(200.0))
+    assert s100 / s200 == pytest.approx(2.0, rel=0.05)
+
+
+def test_weak_fraction_visible_in_samples(rng):
+    m = DEFAULT_SUSCEPTIBILITY
+    a = m.sample(rng, 300_000)
+    weak = (a >= m.weak_a_min).mean()
+    assert weak == pytest.approx(m.weak_fraction, rel=0.15)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        SusceptibilityModel(weak_fraction=1.5)
+    with pytest.raises(ValueError):
+        SusceptibilityModel(weak_a_min=10.0, weak_a_max=5.0)
+    with pytest.raises(ValueError):
+        SusceptibilityModel(lognormal_sigma=0.0)

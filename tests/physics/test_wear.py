@@ -1,0 +1,54 @@
+"""Wear damage factors, including the Figure 3 slope-table power law."""
+
+import numpy as np
+import pytest
+
+from repro.flash.state import MlcState
+from repro.physics.wear import (
+    mean_creep,
+    read_disturb_damage,
+    retention_damage,
+    sigma_widening,
+)
+
+
+def test_slope_table_power_law():
+    """(pe/2000)^1.46 reproduces the paper's slope ratios within 20%."""
+    paper_slopes = {
+        2000: 1.00e-9, 3000: 1.63e-9, 4000: 2.37e-9, 5000: 3.74e-9,
+        8000: 7.50e-9, 10000: 9.10e-9, 15000: 1.90e-8,
+    }
+    for pe, slope in paper_slopes.items():
+        predicted_ratio = read_disturb_damage(pe) / read_disturb_damage(2000)
+        paper_ratio = slope / paper_slopes[2000]
+        assert predicted_ratio == pytest.approx(paper_ratio, rel=0.20)
+
+
+def test_damage_monotone_in_wear():
+    pes = np.array([500, 1000, 3000, 8000, 15000])
+    rd = np.array([read_disturb_damage(p) for p in pes])
+    ret = np.array([retention_damage(p) for p in pes])
+    assert (np.diff(rd) > 0).all()
+    assert (np.diff(ret) > 0).all()
+
+
+def test_wear_floor_applies():
+    assert read_disturb_damage(0) == read_disturb_damage(100)
+    assert retention_damage(10) == retention_damage(150)
+
+
+def test_negative_pe_rejected():
+    for fn in (read_disturb_damage, retention_damage, sigma_widening):
+        with pytest.raises(ValueError):
+            fn(-1)
+    with pytest.raises(ValueError):
+        mean_creep(MlcState.ER, -5)
+
+
+def test_er_creeps_faster_than_programmed_states():
+    assert mean_creep(MlcState.ER, 8000) > mean_creep(MlcState.P3, 8000)
+
+
+def test_sigma_widening_starts_at_unity():
+    assert sigma_widening(0) == pytest.approx(1.0)
+    assert sigma_widening(20000) == pytest.approx(np.sqrt(2.0))

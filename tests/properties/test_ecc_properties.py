@@ -1,0 +1,35 @@
+"""Property-based ECC bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import EccConfig
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(8, 80),
+    st.floats(min_value=1e-5, max_value=5e-3),
+)
+def test_failure_probability_is_probability(t, rber):
+    cfg = EccConfig(codeword_bits=9216, correctable_bits=t)
+    p = cfg.codeword_failure_probability(rber)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(8, 80))
+def test_tolerable_rber_meets_target(t):
+    cfg = EccConfig(codeword_bits=9216, correctable_bits=t)
+    tolerable = cfg.tolerable_rber
+    assert 0 < tolerable < cfg.raw_capability_rber
+    assert cfg.codeword_failure_probability(tolerable) <= cfg.codeword_failure_target * 1.01
+    assert cfg.codeword_failure_probability(tolerable * 2) > cfg.codeword_failure_target
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1024, 1 << 18), st.floats(min_value=0.0, max_value=3e-3), st.integers(1, 1024))
+def test_worst_page_errors_at_least_mean(page_bits, rber, pages):
+    cfg = EccConfig()
+    worst = cfg.expected_worst_page_errors(rber, page_bits, pages)
+    assert worst >= int(rber * page_bits * 0.99)

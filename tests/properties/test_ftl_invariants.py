@@ -1,0 +1,43 @@
+"""Property-based FTL invariants under random operation sequences."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.controller.ftl import PageMappingFtl, SsdConfig
+
+CONFIG = SsdConfig(blocks=6, pages_per_block=8, overprovision=0.45, gc_threshold_blocks=1)
+
+operations = st.lists(
+    st.tuples(st.booleans(), st.integers(0, CONFIG.logical_pages - 1)),
+    min_size=1,
+    max_size=300,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations)
+def test_mapping_invariants_hold(ops):
+    ftl = PageMappingFtl(CONFIG)
+    written = set()
+    for is_write, lpn in ops:
+        if is_write:
+            ftl.write(lpn)
+            written.add(lpn)
+        else:
+            loc = ftl.read(lpn)
+            # Reads of written pages always resolve; never-written don't.
+            assert (loc is not None) == (lpn in written)
+    ftl.check_invariants()
+    # Every written page remains mapped and unique.
+    assert ftl.valid_count.sum() == len(written)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, CONFIG.logical_pages - 1), min_size=50, max_size=400))
+def test_write_amplification_bounded(lpns):
+    ftl = PageMappingFtl(CONFIG)
+    for lpn in lpns:
+        ftl.write(lpn)
+    assert ftl.write_amplification >= 1.0
+    # With 30% overprovision WA stays moderate.
+    assert ftl.write_amplification < 8.0

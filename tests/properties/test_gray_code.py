@@ -1,0 +1,42 @@
+"""Property-based tests of the gray-code state mapping."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.flash.state import (
+    bit_errors_between,
+    lsb_of_state,
+    msb_of_state,
+    states_from_bits,
+)
+
+states_arrays = arrays(np.int64, st.integers(1, 64), elements=st.integers(0, 3))
+
+
+@given(states_arrays)
+def test_bits_roundtrip(states):
+    rebuilt = states_from_bits(lsb_of_state(states), msb_of_state(states))
+    assert np.array_equal(rebuilt, states)
+
+
+@given(states_arrays, states_arrays)
+def test_bit_errors_bounded_by_two(a, b):
+    n = min(a.size, b.size)
+    errs = bit_errors_between(a[:n], b[:n])
+    assert ((errs >= 0) & (errs <= 2)).all()
+
+
+@given(states_arrays)
+def test_identity_has_no_errors(states):
+    assert bit_errors_between(states, states).sum() == 0
+
+
+@given(st.integers(0, 3), st.integers(0, 3))
+def test_triangle_inequality(a, b):
+    """Bit distance is a metric on states."""
+    for c in range(4):
+        ab = bit_errors_between(np.array([a]), np.array([b]))[0]
+        ac = bit_errors_between(np.array([a]), np.array([c]))[0]
+        cb = bit_errors_between(np.array([c]), np.array([b]))[0]
+        assert ab <= ac + cb

@@ -1,0 +1,80 @@
+"""Property-based monotonicity of every physics law.
+
+The paper's qualitative findings are monotonicity statements (more reads,
+more wear, higher Vpass, longer retention => predictable direction of
+change); these must hold over the whole parameter space, not just at the
+calibration points.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.physics.distributions import state_distribution
+from repro.physics.pass_through import PassThroughModel
+from repro.physics.read_disturb import DEFAULT_READ_DISTURB, vpass_exposure_weight
+from repro.physics.retention import retained_voltage
+from repro.physics.wear import read_disturb_damage, retention_damage
+from repro.flash.state import MlcState
+
+voltages = st.floats(min_value=0.0, max_value=500.0)
+exposures = st.floats(min_value=0.0, max_value=1e8)
+wears = st.integers(min_value=0, max_value=30000)
+ages = st.floats(min_value=0.0, max_value=86400.0 * 60)
+susceptibilities = st.floats(min_value=0.01, max_value=2e4)
+
+
+@given(voltages, exposures, susceptibilities, wears)
+def test_disturb_never_decreases_voltage(v0, exposure, a, pe):
+    v = float(DEFAULT_READ_DISTURB.drifted_voltage(np.array([v0]), exposure, a, pe)[0])
+    assert v >= v0 - 1e-9
+
+
+@given(voltages, st.tuples(exposures, exposures), susceptibilities, wears)
+def test_disturb_monotone_in_exposure(v0, pair, a, pe):
+    e1, e2 = sorted(pair)
+    m = DEFAULT_READ_DISTURB
+    v1 = float(m.drifted_voltage(np.array([v0]), e1, a, pe)[0])
+    v2 = float(m.drifted_voltage(np.array([v0]), e2, a, pe)[0])
+    assert v2 >= v1 - 1e-9
+
+
+@given(voltages, ages, wears, st.floats(min_value=0.05, max_value=20.0))
+def test_retention_never_raises_voltage(v0, age, pe, leak):
+    v = float(retained_voltage(np.array([v0]), age, pe, leak=leak)[0])
+    assert v <= v0 + 1e-9
+
+
+@given(st.tuples(ages, ages), wears)
+def test_retention_monotone_in_time(pair, pe):
+    t1, t2 = sorted(pair)
+    v1 = float(retained_voltage(np.array([400.0]), t1, pe)[0])
+    v2 = float(retained_voltage(np.array([400.0]), t2, pe)[0])
+    assert v2 <= v1 + 1e-9
+
+
+@given(st.tuples(wears, wears))
+def test_damage_monotone_in_wear(pair):
+    p1, p2 = sorted(pair)
+    assert read_disturb_damage(p2) >= read_disturb_damage(p1)
+    assert retention_damage(p2) >= retention_damage(p1)
+
+
+@given(st.tuples(st.floats(300.0, 512.0), st.floats(300.0, 512.0)))
+def test_exposure_weight_monotone_in_vpass(pair):
+    v1, v2 = sorted(pair)
+    assert vpass_exposure_weight(v2) >= vpass_exposure_weight(v1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.tuples(st.floats(450.0, 510.0), st.floats(450.0, 510.0)), wears, ages)
+def test_pass_through_monotone_in_vpass(pair, pe, age):
+    v1, v2 = sorted(pair)
+    model = PassThroughModel(wordlines_per_block=64, grid_points=120)
+    assert model.additional_rber(v1, pe, age) >= model.additional_rber(v2, pe, age) - 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(wears)
+def test_state_distributions_stay_ordered(pe):
+    mus = [state_distribution(s, pe).mu for s in MlcState]
+    assert mus == sorted(mus)

@@ -1,0 +1,29 @@
+"""Property-based workload generation checks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+specs = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    description=st.just(""),
+    iops=st.floats(min_value=0.5, max_value=5.0),
+    read_fraction=st.floats(min_value=0.0, max_value=1.0),
+    working_set_pages=st.integers(16, 8192),
+    read_zipf_theta=st.floats(min_value=0.0, max_value=1.2),
+    write_zipf_theta=st.floats(min_value=0.0, max_value=1.0),
+    sequential_read_fraction=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs, st.integers(0, 100))
+def test_generated_traces_are_wellformed(spec, seed):
+    trace = SyntheticWorkload(spec, seed=seed).generate(0.02)
+    # IoTrace validates ordering/ranges in its constructor; check bounds.
+    if len(trace):
+        assert trace.lpns.max() < spec.working_set_pages
+        assert trace.timestamps[-1] <= 0.02 * 86400.0
+        if spec.read_fraction in (0.0, 1.0) and len(trace) > 10:
+            assert trace.read_fraction == spec.read_fraction

@@ -1,0 +1,27 @@
+"""Normalized units and voltage-scale helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_roundtrip():
+    assert units.days(2) == 2 * 86400.0
+    assert units.hours(3) == 3 * 3600.0
+    assert units.as_days(units.days(5.5)) == pytest.approx(5.5)
+
+
+def test_refresh_interval_is_seven_days():
+    assert units.REFRESH_INTERVAL_DAYS == 7.0
+    assert units.REFRESH_INTERVAL_SECONDS == 7 * 86400.0
+
+
+def test_vpass_scale():
+    assert units.VPASS_NOMINAL == 512.0
+    assert units.vpass_fraction(512.0) == 1.0
+    assert units.vpass_from_fraction(0.94) == pytest.approx(481.28)
+    assert units.vpass_reduction_percent(512.0 * 0.96) == pytest.approx(4.0)
+
+
+def test_gnd_is_zero():
+    assert units.GND == 0.0

@@ -1,0 +1,36 @@
+"""The 14-workload evaluation suite."""
+
+import pytest
+
+from repro.workloads import WORKLOAD_SUITE, get_workload, workload_names
+
+
+def test_suite_has_fourteen_workloads():
+    assert len(WORKLOAD_SUITE) == 14
+    assert len(workload_names()) == 14
+
+
+def test_all_specs_valid_and_described():
+    for name, spec in WORKLOAD_SUITE.items():
+        assert spec.name == name
+        assert spec.description
+        assert 0.0 < spec.read_fraction < 1.0
+        assert spec.iops > 0
+
+
+def test_suite_spans_read_intensities():
+    """The paper's suite mixes read-hot and write-heavy workloads."""
+    fractions = [s.read_fraction for s in WORKLOAD_SUITE.values()]
+    assert min(fractions) < 0.3
+    assert max(fractions) > 0.7
+
+
+def test_get_workload_generates(tmp_path):
+    trace = get_workload("postmark", seed=3).generate(0.05)
+    assert len(trace) > 0
+    assert trace.name == "postmark"
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        get_workload("nope")

@@ -1,0 +1,63 @@
+"""Trace container semantics and CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import IoTrace, OP_READ, OP_WRITE
+
+
+def _trace():
+    ts = np.array([0.0, 1.0, 2.0, 3.0])
+    ops = np.array([OP_READ, OP_WRITE, OP_READ, OP_READ], dtype=np.int64)
+    lpns = np.array([10, 20, 30, 40], dtype=np.int64)
+    return IoTrace(ts, ops, lpns, "unit")
+
+
+def test_basic_properties():
+    t = _trace()
+    assert len(t) == 4
+    assert t.duration_seconds == 3.0
+    assert t.read_fraction == pytest.approx(0.75)
+
+
+def test_read_write_views():
+    t = _trace()
+    assert len(t.reads) == 3
+    assert len(t.writes) == 1
+    assert list(t.writes.lpns) == [20]
+
+
+def test_time_slice():
+    t = _trace()
+    s = t.slice_time(1.0, 3.0)
+    assert list(s.lpns) == [20, 30]
+    with pytest.raises(ValueError):
+        t.slice_time(2.0, 1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IoTrace(np.array([1.0, 0.0]), np.zeros(2, np.int64), np.zeros(2, np.int64))
+    with pytest.raises(ValueError):
+        IoTrace(np.array([0.0]), np.array([5]), np.array([0]))
+    with pytest.raises(ValueError):
+        IoTrace(np.array([0.0]), np.array([0]), np.array([-1]))
+    with pytest.raises(ValueError):
+        IoTrace(np.zeros(2), np.zeros(3, np.int64), np.zeros(2, np.int64))
+
+
+def test_csv_roundtrip(tmp_path):
+    t = _trace()
+    path = t.to_csv(tmp_path / "trace.csv")
+    back = IoTrace.from_csv(path)
+    assert np.allclose(back.timestamps, t.timestamps)
+    assert np.array_equal(back.ops, t.ops)
+    assert np.array_equal(back.lpns, t.lpns)
+
+
+def test_empty_trace():
+    empty = IoTrace(np.empty(0), np.empty(0, np.int64), np.empty(0, np.int64))
+    assert len(empty) == 0
+    assert empty.duration_seconds == 0.0
+    with pytest.raises(ValueError):
+        empty.read_fraction
