@@ -1,0 +1,107 @@
+"""Engine throughput: batched vs. per-op execution, both backends.
+
+The unified engine's acceptance target is a >=10x speedup of the batched
+windowed path over the per-op reference loop on a 1M-operation synthetic
+hot-read trace with the counter backend, with bit-identical run stats.
+This bench tracks that number (and the full-fidelity flash-chip
+backend's throughput) from PR to PR.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.controller import (
+    FlashChipBackend,
+    SimulationEngine,
+    SsdConfig,
+)
+from repro.units import days
+from repro.workloads import IoTrace, OP_READ, OP_WRITE
+
+N_OPS = 1_000_000
+FOOTPRINT = 100_000
+READ_FRACTION = 0.99
+CONFIG = SsdConfig(blocks=512, pages_per_block=256)
+#: much smaller drive/trace for the flash-chip row: every read there
+#: drives Monte-Carlo physics, which targets fidelity, not sweeps.
+PHYSICS_OPS = 200_000
+PHYSICS_CONFIG = SsdConfig(blocks=16, pages_per_block=32, overprovision=0.2)
+
+
+def _traces(footprint, n_ops):
+    rng = np.random.default_rng(7)
+    precondition = IoTrace(
+        np.zeros(footprint),
+        np.full(footprint, OP_WRITE, dtype=np.int64),
+        rng.permutation(footprint).astype(np.int64),
+        "precondition",
+    )
+    trace = IoTrace(
+        np.sort(rng.uniform(days(0.1), days(6.0), n_ops)),
+        np.where(rng.random(n_ops) < READ_FRACTION, OP_READ, OP_WRITE).astype(
+            np.int64
+        ),
+        rng.integers(0, footprint, n_ops).astype(np.int64),
+        "hot-read",
+    )
+    return precondition, trace
+
+
+def _timed_run(config, backend, batch, footprint, n_ops):
+    precondition, trace = _traces(footprint, n_ops)
+    engine = SimulationEngine(
+        config, read_reclaim_threshold=50_000, backend=backend, batch=batch
+    )
+    engine.run_trace(precondition)
+    start = time.perf_counter()
+    stats = engine.run_trace(trace)
+    elapsed = time.perf_counter() - start
+    return stats, elapsed, n_ops / elapsed
+
+
+def _sweep():
+    rows = []
+    stats_serial, t_serial, ops_serial = _timed_run(
+        CONFIG, None, False, FOOTPRINT, N_OPS
+    )
+    rows.append(["counter / per-op", N_OPS, f"{t_serial:.2f}", f"{ops_serial:,.0f}", "1.0x"])
+    stats_batched, t_batched, ops_batched = _timed_run(
+        CONFIG, None, True, FOOTPRINT, N_OPS
+    )
+    rows.append(
+        [
+            "counter / batched",
+            N_OPS,
+            f"{t_batched:.2f}",
+            f"{ops_batched:,.0f}",
+            f"{t_serial / t_batched:.1f}x",
+        ]
+    )
+    assert stats_batched == stats_serial, "batched run must be bit-identical"
+    _, t_physics, ops_physics = _timed_run(
+        PHYSICS_CONFIG,
+        FlashChipBackend(bitlines_per_block=2048, seed=3),
+        True,
+        2_000,
+        PHYSICS_OPS,
+    )
+    rows.append(
+        ["flash-chip / batched", PHYSICS_OPS, f"{t_physics:.2f}", f"{ops_physics:,.0f}", "-"]
+    )
+    return rows, t_serial / t_batched
+
+
+def bench_engine_throughput(benchmark, emit):
+    (rows, speedup) = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["engine", "trace ops", "seconds", "ops/sec", "speedup"],
+        rows,
+        title=(
+            f"Engine throughput ({READ_FRACTION:.0%} reads, preconditioned "
+            f"{FOOTPRINT:,}-page footprint, daily maintenance + read reclaim)"
+        ),
+    )
+    emit("engine_throughput", table)
+    assert speedup >= 10.0, f"batched speedup regressed to {speedup:.1f}x"

@@ -16,7 +16,12 @@ from repro.workloads import get_workload
 
 
 def drive_demo() -> None:
-    """Controller-in-the-loop: every op goes through the FTL."""
+    """Controller-in-the-loop: every op goes through the FTL.
+
+    ``SsdSimulator`` is the unified engine with the default counter
+    backend and batched execution; see examples/engine_backends.py for
+    the flash-chip backend with ECC and RDR in the loop.
+    """
     print("== SSD controller run (web_0, quarter-day slice) ==")
     sim = SsdSimulator(
         SsdConfig(blocks=64, pages_per_block=64, overprovision=0.15),

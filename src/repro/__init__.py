@@ -34,6 +34,15 @@ from repro.core import (
     RdrOutcome,
     predict_worst_page,
 )
+from repro.controller import (
+    SimulationEngine,
+    SsdSimulator,
+    SsdConfig,
+    SsdRunStats,
+    CounterBackend,
+    FlashChipBackend,
+    PhysicsBackend,
+)
 
 __version__ = "1.0.0"
 
@@ -64,5 +73,12 @@ __all__ = [
     "RdrConfig",
     "RdrOutcome",
     "predict_worst_page",
+    "SimulationEngine",
+    "SsdSimulator",
+    "SsdConfig",
+    "SsdRunStats",
+    "CounterBackend",
+    "FlashChipBackend",
+    "PhysicsBackend",
     "__version__",
 ]

@@ -1,0 +1,286 @@
+"""Pluggable physics backends for the simulation engine.
+
+The engine drives the FTL; a backend decides how much device physics sits
+behind each FTL block:
+
+- :class:`CounterBackend` — pure bookkeeping.  The FTL's own counters
+  (reads since program, P/E cycles, program timestamps) are the whole
+  device model.  This is the fast path for multi-million-operation
+  sweeps and reproduces the historical ``SsdSimulator`` semantics.
+
+- :class:`FlashChipBackend` — full fidelity.  Every FTL block is bound to
+  a Monte-Carlo :class:`~repro.flash.block.FlashBlock`; host writes
+  program real wordlines, host reads charge Vpass-weighted disturb
+  exposure and are ECC-decoded, and an uncorrectable page escalates
+  through the paper's Read Disturb Recovery before the controller counts
+  data loss.  Use it to measure the RBER a policy actually leaves behind.
+
+Both backends observe the FTL through :class:`~repro.controller.ftl.FtlObserver`
+hooks (appends, erases, relocations) plus one engine-driven hook,
+:meth:`PhysicsBackend.on_reads`, that receives each flushed batch of
+mapped host reads.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.rng import RngFactory
+from repro.units import VPASS_NOMINAL
+from repro.core.rdr import RdrConfig, ReadDisturbRecovery
+from repro.ecc import DEFAULT_ECC, EccConfig, EccDecoder
+from repro.flash.block import FlashBlock
+from repro.flash.geometry import FlashGeometry
+from repro.controller.ftl import PageMappingFtl
+
+
+@runtime_checkable
+class PhysicsBackend(Protocol):
+    """What the simulation engine needs from a device-physics model."""
+
+    def bind(self, ftl: PageMappingFtl) -> None:
+        """Attach to the FTL whose physical state this backend mirrors."""
+
+    def on_append(self, block: int, page: int, lpn: int, now: float) -> None:
+        """A logical page landed on physical ``(block, page)``."""
+
+    def on_erase(self, block: int, now: float) -> None:
+        """A block was erased."""
+
+    def on_open(self, block: int, now: float) -> None:
+        """A free block was opened for writing."""
+
+    def on_reads(self, ppns: np.ndarray, now: float) -> None:
+        """A flushed batch of mapped host reads (physical page numbers,
+        duplicates preserved).  Called after the FTL's own bookkeeping."""
+
+    def drain_relocations(self) -> list[int]:
+        """Blocks the backend wants relocated (e.g. after recovery); the
+        engine relocates them at the next safe point and the list clears."""
+
+    def summary(self) -> dict:
+        """Backend-specific counters for reporting."""
+
+
+class CounterBackend:
+    """Bookkeeping-only physics: all state lives in the FTL counters."""
+
+    name = "counter"
+
+    def bind(self, ftl: PageMappingFtl) -> None:
+        self.ftl = ftl
+
+    def on_append(self, block: int, page: int, lpn: int, now: float) -> None:
+        pass
+
+    def on_erase(self, block: int, now: float) -> None:
+        pass
+
+    def on_open(self, block: int, now: float) -> None:
+        pass
+
+    def on_reads(self, ppns: np.ndarray, now: float) -> None:
+        pass
+
+    def drain_relocations(self) -> list[int]:
+        return []
+
+    def summary(self) -> dict:
+        return {"backend": self.name}
+
+
+class FlashChipBackend:
+    """Bind every FTL block to a Monte-Carlo flash block.
+
+    Blocks are materialized lazily (first append), so memory scales with
+    the blocks a workload actually touches.  Host data is synthetic:
+    programming a wordline writes pseudo-random bits, which is exactly the
+    paper's characterization workload and all ECC needs — the decoder
+    compares the sensed page against what was programmed.
+
+    Read handling per flushed batch:
+
+    1. charge Vpass-weighted disturb exposure per (block, wordline) in
+       one vectorized call;
+    2. ECC-decode each *unique* page of the batch once, at the batch's
+       final exposure (repeated reads of a page within one flush return
+       the same sensed data, so one decode per page per flush is the
+       exact per-op semantics at a fraction of the cost);
+    3. on an uncorrectable page, run Read Disturb Recovery on the
+       wordline; if the post-RDR error count fits the ECC capability the
+       data is recovered, otherwise it is lost.  Either way the block is
+       queued for relocation so the engine rewrites it to a fresh block.
+    """
+
+    name = "flash_chip"
+
+    def __init__(
+        self,
+        bitlines_per_block: int = 2048,
+        initial_pe_cycles: int = 0,
+        vpass: float = VPASS_NOMINAL,
+        ecc: EccConfig = DEFAULT_ECC,
+        rdr: RdrConfig | None = None,
+        enable_rdr: bool = True,
+        seed: int = 0,
+    ):
+        if bitlines_per_block < 1:
+            raise ValueError("need at least one bitline per block")
+        if initial_pe_cycles < 0:
+            raise ValueError("initial wear cannot be negative")
+        self.bitlines_per_block = int(bitlines_per_block)
+        self.initial_pe_cycles = int(initial_pe_cycles)
+        self.vpass = float(vpass)
+        self.decoder = EccDecoder(ecc)
+        self.rdr = ReadDisturbRecovery(rdr) if enable_rdr else None
+        self.seed = int(seed)
+        # Filled in bind().
+        self.ftl: PageMappingFtl | None = None
+        self.geometry: FlashGeometry | None = None
+        self._blocks: dict[int, FlashBlock] = {}
+        self._rng_factory = RngFactory(self.seed)
+        self._data_rng = np.random.default_rng(self.seed ^ 0x5EED)
+        self._pending_relocations: list[int] = []
+        # Physics-path accounting.
+        self.pages_checked = 0
+        self.uncorrectable_pages = 0
+        self.rdr_attempts = 0
+        self.rdr_recovered = 0
+        self.data_loss_events = 0
+        self.corrected_bits = 0
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+
+    def bind(self, ftl: PageMappingFtl) -> None:
+        cfg = ftl.config
+        if cfg.pages_per_block % 2 != 0:
+            raise ValueError(
+                "FlashChipBackend needs an even pages_per_block (MLC stores "
+                "two pages per wordline)"
+            )
+        self.ftl = ftl
+        self.geometry = FlashGeometry(
+            blocks=cfg.blocks,
+            wordlines_per_block=cfg.pages_per_block // 2,
+            bitlines_per_block=self.bitlines_per_block,
+        )
+
+    def on_append(self, block: int, page: int, lpn: int, now: float) -> None:
+        fb = self.block(block)
+        wordline = page // 2
+        if fb.programmed[wordline]:
+            return
+        # First touch of the wordline: program both of its pages at once
+        # (the LSB page is always appended first, and MLC wordlines are
+        # programmed as a unit).
+        bits = self.geometry.bitlines_per_block
+        lsb = self._data_rng.integers(0, 2, bits, dtype=np.uint8)
+        msb = self._data_rng.integers(0, 2, bits, dtype=np.uint8)
+        fb.program_wordline_bits(wordline, lsb, msb, now)
+
+    def on_erase(self, block: int, now: float) -> None:
+        fb = self._blocks.get(block)
+        if fb is not None:
+            fb.erase(now)
+
+    def on_open(self, block: int, now: float) -> None:
+        # Physical erase (the disturb/history reset) happened at on_erase.
+        pass
+
+    def on_reads(self, ppns: np.ndarray, now: float) -> None:
+        if ppns.size == 0:
+            return
+        pages_per_block = self.ftl.config.pages_per_block
+        unique_ppns, counts = np.unique(ppns, return_counts=True)
+        blocks = unique_ppns // pages_per_block
+        pages = unique_ppns % pages_per_block
+        wordlines = pages // 2
+        for block in np.unique(blocks):
+            in_block = blocks == block
+            fb = self.block(int(block))
+            # Reads of both pages of a wordline are one sensing pass each
+            # but identical disturb, so the wordline counts just add up.
+            fb.record_reads(wordlines[in_block], counts[in_block], self.vpass)
+        # ECC-decode each unique page once, at post-batch exposure.
+        escalated_blocks: set[int] = set()
+        rescued_wordlines: set[tuple[int, int]] = set()
+        for block, page, wordline in zip(blocks, pages, wordlines):
+            block = int(block)
+            if block in escalated_blocks:
+                # Already queued for relocation this flush; its data is
+                # being remapped, so further decodes add nothing.
+                continue
+            fb = self._blocks[block]
+            if not fb.programmed[wordline]:
+                continue
+            result = self.decoder.check_page(fb, int(page), now, self.vpass)
+            self.pages_checked += 1
+            if result.success:
+                self.corrected_bits += result.raw_errors
+                continue
+            self.uncorrectable_pages += 1
+            self._escalate(block, int(wordline), now, rescued_wordlines)
+            escalated_blocks.add(block)
+
+    def drain_relocations(self) -> list[int]:
+        pending, self._pending_relocations = self._pending_relocations, []
+        return pending
+
+    def summary(self) -> dict:
+        return {
+            "backend": self.name,
+            "bound_blocks": len(self._blocks),
+            "pages_checked": self.pages_checked,
+            "corrected_bits": self.corrected_bits,
+            "uncorrectable_pages": self.uncorrectable_pages,
+            "rdr_attempts": self.rdr_attempts,
+            "rdr_recovered": self.rdr_recovered,
+            "data_loss_events": self.data_loss_events,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def block(self, block_id: int) -> FlashBlock:
+        """The :class:`FlashBlock` bound to FTL block *block_id* (lazy)."""
+        fb = self._blocks.get(block_id)
+        if fb is None:
+            if self.geometry is None:
+                raise RuntimeError("backend not bound to an FTL yet")
+            fb = FlashBlock(self.geometry, self._rng_factory, block_id=block_id)
+            if self.initial_pe_cycles > 0:
+                fb.cycle_wear_to(self.initial_pe_cycles)
+            self._blocks[block_id] = fb
+        return fb
+
+    def _escalate(
+        self,
+        block: int,
+        wordline: int,
+        now: float,
+        rescued: set[tuple[int, int]],
+    ) -> None:
+        """Uncorrectable page: try RDR, then queue the block for remap."""
+        if block not in self._pending_relocations:
+            self._pending_relocations.append(block)
+        if self.rdr is None:
+            self.data_loss_events += 1
+            return
+        if (block, wordline) in rescued:
+            return
+        rescued.add((block, wordline))
+        fb = self._blocks[block]
+        self.rdr_attempts += 1
+        capability = self.decoder.config.page_capability_bits(
+            2 * self.geometry.bitlines_per_block
+        )
+        outcome, recovered = self.rdr.rescue_wordline(fb, wordline, now, capability)
+        if recovered:
+            self.rdr_recovered += 1
+        else:
+            self.data_loss_events += 1

@@ -1,0 +1,455 @@
+"""Unified, batched simulation engine: one controller loop, two physics.
+
+The engine drives the page-mapping FTL through a trace under periodic
+maintenance (remap refresh, read reclaim) exactly like the historical
+``SsdSimulator`` — but the device physics behind the FTL is pluggable
+(:mod:`repro.controller.backends`) and trace execution is batched.
+
+Batched execution segments the trace into maintenance windows and
+replays per-op only the operations that can change the mapping: host
+writes and the garbage collection they trigger.  Reads cannot influence
+any in-window decision (GC picks victims by valid count; reclaim and
+refresh run only at window boundaries), so the engine resolves *all* of
+a window's reads vectorized at the window's end:
+
+- with the counter backend, against a change log of the window's
+  mapping updates — each read joins the mapping state at its own
+  position in the op stream (an epoch join), and charges wiped by an
+  in-window block reopen are filtered out, so the resulting
+  :class:`SsdRunStats` are bit-for-bit those of the per-op reference
+  loop (``batch=False``);
+- with a physics backend, reads buffer in trace order and flush against
+  the live mapping whenever a relocation is about to move data (and at
+  the window end), so disturb always lands on the block that actually
+  held the data.  Physics granularity is per flush: disturb exposure is
+  charged in bulk and each unique page is ECC-decoded once per flush at
+  its final exposure, escalating uncorrectable pages through Read
+  Disturb Recovery and remapping the damaged block.
+
+See ``benchmarks/bench_engine_throughput.py`` for the throughput
+trajectory of both backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import SECONDS_PER_DAY
+from repro.controller.backends import CounterBackend, PhysicsBackend
+from repro.controller.ftl import BlockState, FtlObserver, PageMappingFtl, SsdConfig
+from repro.controller.read_reclaim import ReadReclaimPolicy
+from repro.controller.refresh import RefreshScheduler
+from repro.workloads.trace import IoTrace, OP_READ, OP_WRITE, maintenance_windows
+
+
+@dataclass(frozen=True)
+class SsdRunStats:
+    """Summary of one simulated trace run."""
+
+    duration_days: float
+    host_reads: int
+    host_writes: int
+    write_amplification: float
+    gc_runs: int
+    refreshed_blocks: int
+    reclaimed_blocks: int
+    #: peak reads absorbed by any block within one refresh interval —
+    #: the read-disturb exposure that bounds endurance.
+    peak_block_reads_per_interval: int
+    #: mean P/E cycles across blocks at the end of the run.
+    mean_pe_cycles: float
+    max_pe_cycles: int
+    #: host reads of never-written pages (no flash touched, no disturb).
+    unmapped_reads: int = 0
+
+
+class SimulationEngine(FtlObserver):
+    """Drive an FTL with a trace under periodic maintenance.
+
+    Parameters mirror the historical ``SsdSimulator`` plus:
+
+    - *backend*: the physics model behind the FTL; defaults to the
+      bookkeeping-only :class:`~repro.controller.backends.CounterBackend`.
+    - *batch*: run traces with windowed/vectorized execution (default)
+      or the per-op reference loop.  With the counter backend both modes
+      produce bit-identical stats; with a physics backend the
+      controller-side counters still agree on failure-free traces, but
+      ECC decode granularity differs (per flush vs. per op), so
+      escalation timing — and everything downstream of a recovery —
+      can legitimately diverge.
+    """
+
+    def __init__(
+        self,
+        config: SsdConfig | None = None,
+        refresh_interval_days: float = 7.0,
+        read_reclaim_threshold: int | None = None,
+        maintenance_period_days: float = 1.0,
+        backend: PhysicsBackend | None = None,
+        batch: bool = True,
+    ):
+        self.ftl = PageMappingFtl(config)
+        self.backend: PhysicsBackend = (
+            backend if backend is not None else CounterBackend()
+        )
+        self.backend.bind(self.ftl)
+        # The counter backend consumes no events at all: the engine only
+        # observes the FTL while recording a window's mapping change log,
+        # so serial counter runs keep the bare-FTL hot path.  Physics
+        # backends observe permanently (appends program real wordlines).
+        self._counter_only = isinstance(self.backend, CounterBackend)
+        if not self._counter_only:
+            self.ftl.observer = self
+        self.refresh = RefreshScheduler(interval_days=refresh_interval_days)
+        self.reclaim = (
+            ReadReclaimPolicy(threshold_reads=read_reclaim_threshold)
+            if read_reclaim_threshold is not None
+            else None
+        )
+        if maintenance_period_days <= 0:
+            raise ValueError("maintenance period must be positive")
+        self.maintenance_period = maintenance_period_days * SECONDS_PER_DAY
+        self.batch = bool(batch)
+        self.now = 0.0
+        self._next_maintenance = self.maintenance_period
+        self._peak_interval_reads = 0
+        # Physics-path read buffer (lpns issued, not yet charged).
+        self._pending_reads: list[np.ndarray] = []
+        # Physical pages of per-op reads already charged in the FTL
+        # counters, awaiting the backend's next batch.
+        self._pending_ppns: list[int] = []
+        # Counter-path change log, active only inside a window's writes.
+        self._recording = False
+        # Externally installed observer to keep feeding while recording.
+        self._chained_observer: FtlObserver | None = None
+        self._epoch = 0
+        self._log: list[tuple[int, int, int]] = []  # (lpn, epoch+1, ppn)
+        self._log_seen: set[int] = set()
+        self._resets: list[tuple[int, int]] = []  # (block, epoch)
+        #: blocks relocated because the backend escalated a failure.
+        self.recovery_relocations = 0
+
+    # ------------------------------------------------------------------
+    # FtlObserver: mapping events -> backend and/or change log
+    # ------------------------------------------------------------------
+
+    def on_append(
+        self, block: int, page: int, lpn: int, old_ppn: int, now: float
+    ) -> None:
+        if self._recording:
+            if lpn not in self._log_seen:
+                # Virtual epoch-0 entry: the lpn's pre-window location,
+                # consulted by reads that precede its first in-window write.
+                self._log_seen.add(lpn)
+                self._log.append((lpn, 0, old_ppn))
+            self._log.append(
+                (lpn, self._epoch + 1, block * self.ftl.config.pages_per_block + page)
+            )
+        if not self._counter_only:
+            self.backend.on_append(block, page, lpn, now)
+        if self._chained_observer is not None:
+            self._chained_observer.on_append(block, page, lpn, old_ppn, now)
+
+    def on_open(self, block: int, now: float) -> None:
+        if self._recording:
+            # Opening resets the block's read counter: charges from reads
+            # that preceded this point in the op stream are wiped.
+            self._resets.append((block, self._epoch))
+        if not self._counter_only:
+            self.backend.on_open(block, now)
+        if self._chained_observer is not None:
+            self._chained_observer.on_open(block, now)
+
+    def on_erase(self, block: int, now: float) -> None:
+        if not self._counter_only:
+            self.backend.on_erase(block, now)
+        if self._chained_observer is not None:
+            self._chained_observer.on_erase(block, now)
+
+    def on_relocate_begin(self, block: int, now: float) -> None:
+        # Physics path: buffered reads were issued against the
+        # pre-relocation mapping; charge them before it changes.
+        if not self._counter_only:
+            self._flush_reads()
+        if self._chained_observer is not None:
+            self._chained_observer.on_relocate_begin(block, now)
+
+    # ------------------------------------------------------------------
+    # Trace execution
+    # ------------------------------------------------------------------
+
+    def run_trace(self, trace: IoTrace, on_window=None) -> SsdRunStats:
+        """Process every operation of *trace* in order.
+
+        *on_window* (optional) is called with the engine after every
+        maintenance pass — a hook for invariant checks and live metrics.
+        """
+        if not self._counter_only and self.ftl.observer is not self:
+            # A physics backend needs every append/erase; if the user
+            # installed their own observer over the engine's, reclaim the
+            # hook and keep forwarding events to theirs.
+            self._chained_observer = self.ftl.observer
+            self.ftl.observer = self
+        if self.batch:
+            return self._run_batched(trace, on_window)
+        return self._run_serial(trace, on_window)
+
+    def _run_serial(self, trace: IoTrace, on_window=None) -> SsdRunStats:
+        """Per-op reference loop (the historical ``SsdSimulator`` path)."""
+        logical_pages = self.ftl.config.logical_pages
+        pages_per_block = self.ftl.config.pages_per_block
+        counter_only = self._counter_only
+        for i in range(len(trace)):
+            t = float(trace.timestamps[i])
+            while t >= self._next_maintenance:
+                self._run_maintenance(self._next_maintenance)
+                self._next_maintenance += self.maintenance_period
+                self._drain_relocations()
+                if on_window is not None:
+                    on_window(self)
+            self.now = t
+            lpn = int(trace.lpns[i]) % logical_pages
+            if trace.ops[i] == OP_READ:
+                loc = self.ftl.read(lpn, self.now)
+                if loc is not None and not counter_only:
+                    ppn = loc[0] * pages_per_block + loc[1]
+                    self.backend.on_reads(np.array([ppn], dtype=np.int64), self.now)
+                    self._drain_relocations()
+            else:
+                self.ftl.write(lpn, self.now)
+                if not counter_only:
+                    self._drain_relocations()
+        self._run_maintenance(self.now)
+        self._drain_relocations()
+        if on_window is not None:
+            on_window(self)
+        return self._stats(trace)
+
+    def _run_batched(self, trace: IoTrace, on_window=None) -> SsdRunStats:
+        """Windowed execution: vectorized reads, per-op writes."""
+        timestamps = np.asarray(trace.timestamps, dtype=np.float64)
+        ops = np.asarray(trace.ops)
+        lpns = np.asarray(trace.lpns, dtype=np.int64) % self.ftl.config.logical_pages
+        boundaries, splits = maintenance_windows(
+            timestamps, self._next_maintenance, self.maintenance_period
+        )
+        run_window = (
+            self._run_window_counter if self._counter_only else self._run_window_physics
+        )
+        start = 0
+        for boundary, split in zip(boundaries, splits):
+            split = int(split)
+            if split > start:
+                run_window(
+                    timestamps[start:split], ops[start:split], lpns[start:split]
+                )
+            self._flush_reads()
+            self._drain_relocations()
+            self._run_maintenance(float(boundary))
+            self._next_maintenance = float(boundary) + self.maintenance_period
+            self._drain_relocations()
+            if on_window is not None:
+                on_window(self)
+            start = split
+        if timestamps.size > start:
+            run_window(timestamps[start:], ops[start:], lpns[start:])
+        self._flush_reads()
+        self._drain_relocations()
+        self._run_maintenance(self.now)
+        self._drain_relocations()
+        if on_window is not None:
+            on_window(self)
+        return self._stats(trace)
+
+    # ------------------------------------------------------------------
+    # Counter-backend window: change log + epoch-joined read resolution
+    # ------------------------------------------------------------------
+
+    def _run_window_counter(
+        self, timestamps: np.ndarray, ops: np.ndarray, lpns: np.ndarray
+    ) -> None:
+        write_positions = np.flatnonzero(ops == OP_WRITE)
+        if write_positions.size == 0:
+            # Frozen mapping: the whole window is one batched read.
+            self.ftl.read_many(lpns)
+            self.now = float(timestamps[-1])
+            return
+        # Replay writes per-op while logging every mapping change (host
+        # appends and GC relocations) and block reopen with its epoch =
+        # index of the host write being processed.
+        self._log = []
+        self._log_seen = set()
+        self._resets = []
+        self._recording = True
+        # Keep feeding any externally installed observer while the engine
+        # borrows the hook point, and restore it afterwards.
+        self._chained_observer = self.ftl.observer
+        self.ftl.observer = self
+        try:
+            for epoch, position in enumerate(write_positions):
+                position = int(position)
+                self._epoch = epoch
+                self.now = float(timestamps[position])
+                self.ftl.write(int(lpns[position]), self.now)
+        finally:
+            self._recording = False
+            self.ftl.observer = self._chained_observer
+            self._chained_observer = None
+        self._resolve_window_reads(ops, lpns, write_positions)
+        self.now = float(timestamps[-1])
+
+    def _resolve_window_reads(
+        self, ops: np.ndarray, lpns: np.ndarray, write_positions: np.ndarray
+    ) -> None:
+        """Charge the window's reads as the per-op loop would have.
+
+        Each read's epoch is the number of host writes that preceded it;
+        the change log yields the mapping it saw, and charges to blocks
+        reopened at a later epoch are dropped (the per-op loop's counter
+        reset would have wiped them).
+        """
+        read_positions = np.flatnonzero(ops == OP_READ)
+        if read_positions.size == 0:
+            return
+        ftl = self.ftl
+        read_lpns = lpns[read_positions]
+        epochs = np.searchsorted(write_positions, read_positions)
+        # Default resolution: the end-of-window mapping (exact for every
+        # lpn the window's writes and relocations never touched).
+        ppns = ftl.l2p[read_lpns].copy()
+        if self._log:
+            log = np.asarray(self._log, dtype=np.int64)
+            key_span = write_positions.size + 2
+            order = np.argsort(log[:, 0] * key_span + log[:, 1], kind="stable")
+            log_keys = (log[:, 0] * key_span + log[:, 1])[order]
+            log_ppns = log[:, 2][order]
+            changed = np.isin(read_lpns, log[:, 0])
+            if changed.any():
+                # Rightmost log entry with epoch <= the read's epoch; the
+                # virtual epoch-0 entry guarantees a same-lpn hit.
+                idx = (
+                    np.searchsorted(
+                        log_keys, read_lpns[changed] * key_span + epochs[changed],
+                        side="right",
+                    )
+                    - 1
+                )
+                ppns[changed] = log_ppns[idx]
+        mapped_mask = ppns != ftl.INVALID
+        n_mapped = int(mapped_mask.sum())
+        ftl.unmapped_reads += int(ppns.size - n_mapped)
+        ftl.host_reads += n_mapped
+        if n_mapped == 0:
+            return
+        blocks = ppns[mapped_mask] // ftl.config.pages_per_block
+        if self._resets:
+            last_reset = np.full(ftl.config.blocks, -1, dtype=np.int64)
+            resets = np.asarray(self._resets, dtype=np.int64)
+            np.maximum.at(last_reset, resets[:, 0], resets[:, 1])
+            surviving = epochs[mapped_mask] > last_reset[blocks]
+            blocks = blocks[surviving]
+        if blocks.size:
+            ftl.reads_since_program += np.bincount(
+                blocks, minlength=ftl.config.blocks
+            )
+
+    # ------------------------------------------------------------------
+    # Physics-backend window: buffered reads, flush-before-relocate
+    # ------------------------------------------------------------------
+
+    def _run_window_physics(
+        self, timestamps: np.ndarray, ops: np.ndarray, lpns: np.ndarray
+    ) -> None:
+        """Reads buffer in order; writes and reads of written pages
+        replay per-op so physics sees every order dependence."""
+        write_mask = ops == OP_WRITE
+        if not write_mask.any():
+            self._pending_reads.append(lpns)
+            self.now = float(timestamps[-1])
+            return
+        written = np.unique(lpns[write_mask])
+        events = write_mask | np.isin(lpns, written)
+        event_indices = np.flatnonzero(events)
+        pages_per_block = self.ftl.config.pages_per_block
+        prev = 0
+        for i in event_indices:
+            i = int(i)
+            if i > prev:
+                self._pending_reads.append(lpns[prev:i])
+            self.now = float(timestamps[i])
+            lpn = int(lpns[i])
+            if write_mask[i]:
+                self.ftl.write(lpn, self.now)
+                self._drain_relocations()
+            else:
+                loc = self.ftl.read(lpn, self.now)
+                if loc is not None:
+                    # Counters are charged; physics joins the next flush
+                    # so decode/disturb stay batch-granular.
+                    self._pending_ppns.append(loc[0] * pages_per_block + loc[1])
+            prev = i + 1
+        if prev < lpns.size:
+            self._pending_reads.append(lpns[prev:])
+        self.now = float(timestamps[-1])
+
+    def _flush_reads(self) -> None:
+        """Charge all buffered reads against the current mapping."""
+        if not self._pending_reads and not self._pending_ppns:
+            return
+        pending, self._pending_reads = self._pending_reads, []
+        if pending:
+            lpns = pending[0] if len(pending) == 1 else np.concatenate(pending)
+            mapped = self.ftl.read_many(lpns)
+        else:
+            mapped = np.empty(0, dtype=np.int64)
+        if self._pending_ppns:
+            resolved = np.asarray(self._pending_ppns, dtype=np.int64)
+            self._pending_ppns = []
+            mapped = np.concatenate([mapped, resolved]) if mapped.size else resolved
+        self.backend.on_reads(mapped, self.now)
+
+    def _drain_relocations(self) -> None:
+        """Relocate blocks the backend flagged (post-recovery remap)."""
+        while True:
+            pending = self.backend.drain_relocations()
+            if not pending:
+                return
+            for block in pending:
+                if (
+                    self.ftl.block_state[block] == int(BlockState.FREE)
+                    or self.ftl.valid_count[block] == 0
+                ):
+                    continue
+                self.ftl.relocate_block(int(block), self.now)
+                self.recovery_relocations += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance and reporting
+    # ------------------------------------------------------------------
+
+    def _run_maintenance(self, now: float) -> None:
+        self._peak_interval_reads = max(
+            self._peak_interval_reads, int(self.ftl.reads_since_program.max())
+        )
+        self.refresh.run(self.ftl, now)
+        if self.reclaim is not None:
+            self.reclaim.run(self.ftl, now)
+
+    def _stats(self, trace: IoTrace) -> SsdRunStats:
+        return SsdRunStats(
+            duration_days=trace.duration_seconds / SECONDS_PER_DAY,
+            host_reads=self.ftl.host_reads,
+            host_writes=self.ftl.host_writes,
+            write_amplification=self.ftl.write_amplification,
+            gc_runs=self.ftl.gc_runs,
+            refreshed_blocks=self.refresh.refreshed_blocks,
+            reclaimed_blocks=(
+                self.reclaim.reclaimed_blocks if self.reclaim is not None else 0
+            ),
+            peak_block_reads_per_interval=self._peak_interval_reads,
+            mean_pe_cycles=float(np.mean(self.ftl.pe_cycles)),
+            max_pe_cycles=int(np.max(self.ftl.pe_cycles)),
+            unmapped_reads=self.ftl.unmapped_reads,
+        )

@@ -16,6 +16,8 @@ from enum import IntEnum
 
 import numpy as np
 
+from repro.controller.stats import per_block_read_counts
+
 
 class BlockState(IntEnum):
     FREE = 0
@@ -68,6 +70,31 @@ class GcStarvationError(RuntimeError):
     """Raised when garbage collection cannot reclaim a block (drive full)."""
 
 
+class FtlObserver:
+    """Hook points the FTL raises while mutating physical state.
+
+    The simulation engine installs itself here to keep a physics backend
+    in lockstep with the mapping: every page append, block erase, and
+    relocation is visible the moment it happens.  All hooks default to
+    no-ops so the bare FTL stays dependency-free and fast.
+    """
+
+    def on_append(
+        self, block: int, page: int, lpn: int, old_ppn: int, now: float
+    ) -> None:
+        """A logical page was written to physical ``(block, page)``;
+        *old_ppn* is the invalidated previous location (or INVALID)."""
+
+    def on_open(self, block: int, now: float) -> None:
+        """A free block was opened for writing (its read counter reset)."""
+
+    def on_erase(self, block: int, now: float) -> None:
+        """A block was erased (end of GC/refresh/reclaim relocation)."""
+
+    def on_relocate_begin(self, block: int, now: float) -> None:
+        """A relocation of *block* is about to start (mapping still old)."""
+
+
 class PageMappingFtl:
     """The mapping engine of the simulated SSD controller."""
 
@@ -87,11 +114,14 @@ class PageMappingFtl:
         self.program_time = np.zeros(cfg.blocks, dtype=np.float64)
         self.write_pointer = np.zeros(cfg.blocks, dtype=np.int64)
         self._free_blocks = list(range(cfg.blocks - 1, -1, -1))
+        #: optional :class:`FtlObserver` notified of physical mutations.
+        self.observer: FtlObserver | None = None
         self._active_block = self._allocate_block(0.0)
         # Accounting.
         self.host_writes = 0
         self.flash_writes = 0
         self.host_reads = 0
+        self.unmapped_reads = 0
         self.gc_runs = 0
 
     # ------------------------------------------------------------------
@@ -100,15 +130,46 @@ class PageMappingFtl:
 
     def read(self, lpn: int, now: float = 0.0) -> tuple[int, int] | None:
         """Host read: returns the physical ``(block, page)`` or None when
-        the page was never written.  Counts read-disturb pressure."""
+        the page was never written.  Counts read-disturb pressure.
+
+        A read of a never-written page touches no flash cells, so it is
+        counted in :attr:`unmapped_reads` rather than :attr:`host_reads`
+        (and, as before, charges no disturb pressure).
+        """
         self._check_lpn(lpn)
-        self.host_reads += 1
         ppn = self.l2p[lpn]
         if ppn == self.INVALID:
+            self.unmapped_reads += 1
             return None
+        self.host_reads += 1
         block, page = divmod(int(ppn), self.config.pages_per_block)
         self.reads_since_program[block] += 1
         return block, page
+
+    def read_many(self, lpns: np.ndarray) -> np.ndarray:
+        """Batched host reads against the *current* mapping.
+
+        Performs exactly the bookkeeping :meth:`read` would do per
+        operation — mapped-read and unmapped-read counts, per-block
+        disturb pressure via one ``bincount`` — and returns the physical
+        page numbers of the mapped reads (duplicates preserved) so a
+        physics backend can apply the same batch.  Callers must ensure
+        the mapping has not changed since the reads were issued.
+        """
+        lpns = np.asarray(lpns, dtype=np.int64)
+        if lpns.size == 0:
+            return lpns
+        if lpns.min() < 0 or lpns.max() >= self.config.logical_pages:
+            raise IndexError("logical page out of range in batched read")
+        ppns = self.l2p[lpns]
+        mapped = ppns[ppns != self.INVALID]
+        self.unmapped_reads += int(ppns.size - mapped.size)
+        self.host_reads += int(mapped.size)
+        if mapped.size:
+            self.reads_since_program += per_block_read_counts(
+                mapped, self.config.pages_per_block, self.config.blocks
+            )
+        return mapped
 
     def write(self, lpn: int, now: float = 0.0) -> tuple[int, int]:
         """Host write: out-of-place update, may trigger garbage collection."""
@@ -142,6 +203,8 @@ class PageMappingFtl:
         self.valid_count[block] += 1
         self.write_pointer[block] += 1
         self.flash_writes += 1
+        if self.observer is not None:
+            self.observer.on_append(block, page, int(lpn), int(old), now)
         if self.write_pointer[block] == self.config.pages_per_block:
             self.block_state[block] = int(BlockState.CLOSED)
             self._active_block = self._allocate_block(now)
@@ -160,9 +223,11 @@ class PageMappingFtl:
         self.write_pointer[block] = 0
         self.reads_since_program[block] = 0
         self.program_time[block] = now
+        if self.observer is not None:
+            self.observer.on_open(block, now)
         return block
 
-    def _erase(self, block: int) -> None:
+    def _erase(self, block: int, now: float = 0.0) -> None:
         start = block * self.config.pages_per_block
         self.p2l[start : start + self.config.pages_per_block] = self.INVALID
         self.valid_count[block] = 0
@@ -170,6 +235,8 @@ class PageMappingFtl:
         self.write_pointer[block] = 0
         self.pe_cycles[block] += 1
         self._free_blocks.append(block)
+        if self.observer is not None:
+            self.observer.on_erase(block, now)
 
     def _maybe_gc(self, now: float) -> None:
         # Backstop against any GC livelock: a full sweep of the drive must
@@ -201,6 +268,8 @@ class PageMappingFtl:
         """
         if self.block_state[block] == int(BlockState.FREE):
             raise ValueError(f"block {block} is free; nothing to relocate")
+        if self.observer is not None:
+            self.observer.on_relocate_begin(block, now)
         if block == self._active_block:
             # Close the active block first so appends target a fresh one.
             self.block_state[block] = int(BlockState.CLOSED)
@@ -211,7 +280,7 @@ class PageMappingFtl:
         for lpn in lpns[lpns != self.INVALID]:
             self._append(int(lpn), now)
             moved += 1
-        self._erase(block)
+        self._erase(block, now)
         return moved
 
     # ------------------------------------------------------------------

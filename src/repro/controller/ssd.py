@@ -1,106 +1,23 @@
-"""SSD-level simulator: FTL + refresh + read reclaim driven by a trace.
+"""SSD-level simulator: the classic entry point, now engine-backed.
 
-This is the controller-in-the-loop path: every host operation goes through
-the page-mapping FTL, maintenance (refresh, read reclaim) runs on a daily
-schedule, and the simulator reports the per-interval read pressure that
-determines read-disturb exposure.  Use it for full-fidelity studies on
-moderate traces; the static-binning fast path in
-:mod:`repro.controller.stats` handles multi-million-operation traces.
+``SsdSimulator`` is the historical name for what is today the unified
+:class:`~repro.controller.engine.SimulationEngine`: an FTL + refresh +
+read-reclaim loop driven by a trace, with a pluggable physics backend
+(:mod:`repro.controller.backends`) and batched windowed execution.  The
+default configuration — counter backend, batching on — reproduces the
+original per-op simulator's :class:`SsdRunStats` bit-for-bit, only
+faster; pass ``batch=False`` for the per-op reference loop or a
+:class:`~repro.controller.backends.FlashChipBackend` for RBER-in-the-loop
+fidelity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.units import SECONDS_PER_DAY
-from repro.controller.ftl import PageMappingFtl, SsdConfig
-from repro.controller.read_reclaim import ReadReclaimPolicy
-from repro.controller.refresh import RefreshScheduler
-from repro.workloads.trace import IoTrace, OP_READ, OP_WRITE
+from repro.controller.engine import SimulationEngine, SsdRunStats
 
 
-@dataclass(frozen=True)
-class SsdRunStats:
-    """Summary of one simulated trace run."""
-
-    duration_days: float
-    host_reads: int
-    host_writes: int
-    write_amplification: float
-    gc_runs: int
-    refreshed_blocks: int
-    reclaimed_blocks: int
-    #: peak reads absorbed by any block within one refresh interval —
-    #: the read-disturb exposure that bounds endurance.
-    peak_block_reads_per_interval: int
-    #: mean P/E cycles across blocks at the end of the run.
-    mean_pe_cycles: float
-    max_pe_cycles: int
+class SsdSimulator(SimulationEngine):
+    """Backward-compatible alias of :class:`SimulationEngine`."""
 
 
-class SsdSimulator:
-    """Drive an FTL with a trace under periodic maintenance."""
-
-    def __init__(
-        self,
-        config: SsdConfig | None = None,
-        refresh_interval_days: float = 7.0,
-        read_reclaim_threshold: int | None = None,
-        maintenance_period_days: float = 1.0,
-    ):
-        self.ftl = PageMappingFtl(config)
-        self.refresh = RefreshScheduler(interval_days=refresh_interval_days)
-        self.reclaim = (
-            ReadReclaimPolicy(threshold_reads=read_reclaim_threshold)
-            if read_reclaim_threshold is not None
-            else None
-        )
-        if maintenance_period_days <= 0:
-            raise ValueError("maintenance period must be positive")
-        self.maintenance_period = maintenance_period_days * SECONDS_PER_DAY
-        self.now = 0.0
-        self._next_maintenance = self.maintenance_period
-        self._peak_interval_reads = 0
-
-    def run_trace(self, trace: IoTrace) -> SsdRunStats:
-        """Process every operation of *trace* in order."""
-        logical_pages = self.ftl.config.logical_pages
-        for i in range(len(trace)):
-            t = float(trace.timestamps[i])
-            while t >= self._next_maintenance:
-                self._run_maintenance(self._next_maintenance)
-                self._next_maintenance += self.maintenance_period
-            self.now = t
-            lpn = int(trace.lpns[i]) % logical_pages
-            if trace.ops[i] == OP_READ:
-                self.ftl.read(lpn, self.now)
-            else:
-                self.ftl.write(lpn, self.now)
-        self._run_maintenance(self.now)
-        return self._stats(trace)
-
-    def _run_maintenance(self, now: float) -> None:
-        self._peak_interval_reads = max(
-            self._peak_interval_reads, int(self.ftl.reads_since_program.max())
-        )
-        self.refresh.run(self.ftl, now)
-        if self.reclaim is not None:
-            self.reclaim.run(self.ftl, now)
-
-    def _stats(self, trace: IoTrace) -> SsdRunStats:
-        return SsdRunStats(
-            duration_days=trace.duration_seconds / SECONDS_PER_DAY,
-            host_reads=self.ftl.host_reads,
-            host_writes=self.ftl.host_writes,
-            write_amplification=self.ftl.write_amplification,
-            gc_runs=self.ftl.gc_runs,
-            refreshed_blocks=self.refresh.refreshed_blocks,
-            reclaimed_blocks=(
-                self.reclaim.reclaimed_blocks if self.reclaim is not None else 0
-            ),
-            peak_block_reads_per_interval=self._peak_interval_reads,
-            mean_pe_cycles=float(np.mean(self.ftl.pe_cycles)),
-            max_pe_cycles=int(np.max(self.ftl.pe_cycles)),
-        )
+__all__ = ["SsdSimulator", "SsdRunStats", "SimulationEngine"]

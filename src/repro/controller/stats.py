@@ -18,6 +18,19 @@ from repro.units import SECONDS_PER_DAY
 from repro.workloads.trace import IoTrace, OP_READ
 
 
+def per_block_read_counts(
+    ppns: np.ndarray, pages_per_block: int, blocks: int
+) -> np.ndarray:
+    """Per-block read counts from a batch of physical-page reads.
+
+    The ``bincount`` grouping shared by the static-binning helpers below
+    and the batched engine's read flush (:meth:`PageMappingFtl.read_many`).
+    """
+    if pages_per_block < 1 or blocks < 1:
+        raise ValueError("pages_per_block and blocks must be positive")
+    return np.bincount(np.asarray(ppns) // pages_per_block, minlength=blocks)
+
+
 def block_read_pressure(trace: IoTrace, pages_per_block: int) -> np.ndarray:
     """Reads per block over the whole trace (static striping)."""
     if pages_per_block < 1:

@@ -202,6 +202,28 @@ class ReadDisturbRecovery:
             skipped_boundaries=skipped,
         )
 
+    def rescue_wordline(
+        self,
+        block: FlashBlock,
+        wordline: int,
+        now: float = 0.0,
+        capability_bits: int | None = None,
+    ) -> tuple[RdrOutcome, bool]:
+        """Controller-facing recovery: run RDR and judge the outcome.
+
+        Returns ``(outcome, recovered)`` where *recovered* is True when
+        the post-RDR raw error count of the wordline fits back within
+        *capability_bits* (the ECC strength over the wordline's
+        ``outcome.bits_total`` bits), i.e. ECC can now finish the job.
+        With no capability given, any error reduction counts as recovery.
+        """
+        outcome = self.recover_wordline(block, wordline, now)
+        if capability_bits is None:
+            recovered = outcome.bit_errors_after < outcome.bit_errors_before
+        else:
+            recovered = outcome.bit_errors_after <= capability_bits
+        return outcome, recovered
+
     def _classes_separated(
         self,
         delta_vth: np.ndarray,

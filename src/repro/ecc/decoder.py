@@ -68,3 +68,25 @@ class EccDecoder:
         if not result.success:
             raise UncorrectableError(result.raw_errors, result.capability)
         return result
+
+    def check_page(
+        self,
+        flash_block,
+        page: int,
+        now: float = 0.0,
+        vpass: float | None = None,
+        record_disturb: bool = False,
+    ) -> DecodeResult:
+        """Decode one page of a simulated :class:`~repro.flash.block.FlashBlock`.
+
+        This is the controller-side decode of a host read: sense the page
+        at the current simulation time and compare against the programmed
+        data.  Disturb recording defaults to off because the caller (the
+        simulation engine) accounts read disturb in bulk per window.
+        """
+        kwargs = {} if vpass is None else {"vpass": vpass}
+        read_bits = flash_block.read_page(
+            page, now, record_disturb=record_disturb, **kwargs
+        )
+        true_bits = flash_block.expected_page_bits(page)
+        return self.decode(read_bits, true_bits)

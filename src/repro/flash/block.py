@@ -131,6 +131,29 @@ class FlashBlock:
         self.total_reads += count
         self.reads_targeted[wordline] += count
 
+    def record_reads(
+        self,
+        wordlines: np.ndarray,
+        counts: np.ndarray,
+        vpass: float = VPASS_NOMINAL,
+    ) -> None:
+        """Batched :meth:`record_read`: *counts[i]* reads target
+        *wordlines[i]*, all at *vpass*.  One call accounts a whole
+        maintenance window of reads in O(unique wordlines)."""
+        wordlines = np.asarray(wordlines, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if wordlines.shape != counts.shape:
+            raise ValueError("wordlines and counts must have the same shape")
+        if counts.size == 0:
+            return
+        if (counts < 0).any():
+            raise ValueError("read count cannot be negative")
+        weights = float(vpass_exposure_weight(vpass)) * counts.astype(np.float64)
+        self._total_exposure += float(weights.sum())
+        np.add.at(self._exposure_targeted, wordlines, weights)
+        self.total_reads += int(counts.sum())
+        np.add.at(self.reads_targeted, wordlines, counts)
+
     def apply_read_disturb(
         self,
         reads: int,
@@ -154,9 +177,13 @@ class FlashBlock:
         self._total_exposure += weight
         self._exposure_targeted += weight / self.geometry.wordlines_per_block
         self.total_reads += reads
-        # Integer bookkeeping: spread as evenly as possible.
-        per = reads // self.geometry.wordlines_per_block
+        # Integer bookkeeping: spread as evenly as possible, handing the
+        # remainder to the lowest wordlines so reads_targeted.sum() always
+        # equals total_reads.
+        per, remainder = divmod(reads, self.geometry.wordlines_per_block)
         self.reads_targeted += per
+        if remainder:
+            self.reads_targeted[:remainder] += 1
 
     # ------------------------------------------------------------------
     # Voltage materialization and sensing

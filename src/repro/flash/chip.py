@@ -48,6 +48,21 @@ class FlashChip:
     def program_block_random(self, index: int) -> None:
         self.blocks[index].program_random(self.now)
 
+    def record_reads(
+        self,
+        block: int,
+        wordlines: np.ndarray,
+        counts: np.ndarray,
+        vpass: float = VPASS_NOMINAL,
+    ) -> None:
+        """Account a batch of reads against *block* (no data returned).
+
+        Chip-level mirror of :meth:`FlashBlock.record_reads` for bulk
+        experiments: a whole campaign of reads is charged as disturb in
+        one call instead of one :meth:`read` per operation.
+        """
+        self.blocks[block].record_reads(wordlines, counts, vpass)
+
     def read(
         self,
         block: int,

@@ -9,7 +9,7 @@ access skew — which are the only properties the endurance results depend
 on (read disturb is driven by per-block read pressure).
 """
 
-from repro.workloads.trace import IoTrace, OP_READ, OP_WRITE
+from repro.workloads.trace import IoTrace, OP_READ, OP_WRITE, maintenance_windows
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
 from repro.workloads.suites import WORKLOAD_SUITE, workload_names, get_workload
 
@@ -17,6 +17,7 @@ __all__ = [
     "IoTrace",
     "OP_READ",
     "OP_WRITE",
+    "maintenance_windows",
     "SyntheticWorkload",
     "WorkloadSpec",
     "WORKLOAD_SUITE",

@@ -20,6 +20,36 @@ def test_read_unwritten_returns_none():
     assert ftl.read(3) is None
 
 
+def test_unmapped_reads_charge_no_disturb_pressure():
+    """Reads of never-written pages touch no flash: they count in their
+    own bucket (not host_reads) and charge no block's reclaim counter."""
+    ftl = PageMappingFtl(SMALL)
+    for _ in range(25):
+        assert ftl.read(3) is None
+    assert ftl.unmapped_reads == 25
+    assert ftl.host_reads == 0
+    assert int(ftl.reads_since_program.sum()) == 0
+    ftl.write(3)
+    ftl.read(3)
+    assert ftl.host_reads == 1
+    assert int(ftl.reads_since_program.sum()) == 1
+
+
+def test_read_many_matches_per_op_reads():
+    a, b = PageMappingFtl(SMALL), PageMappingFtl(SMALL)
+    for lpn in range(6):
+        a.write(lpn)
+        b.write(lpn)
+    lpns = np.array([0, 1, 1, 5, 30, 2, 30], dtype=np.int64)
+    mapped = a.read_many(lpns)
+    for lpn in lpns:
+        b.read(int(lpn))
+    assert a.host_reads == b.host_reads == 5
+    assert a.unmapped_reads == b.unmapped_reads == 2
+    assert np.array_equal(a.reads_since_program, b.reads_since_program)
+    assert mapped.size == 5
+
+
 def test_overwrite_invalidates_old_copy():
     ftl = PageMappingFtl(SMALL)
     first = ftl.write(7)

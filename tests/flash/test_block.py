@@ -63,6 +63,35 @@ def test_uniform_disturb_spreads_exposure(block):
         assert block.disturb_exposure(wordline) == pytest.approx(expected)
 
 
+def test_uniform_disturb_preserves_total_read_count(block):
+    """The integer spread must not drop the remainder: reads_targeted
+    always sums to total_reads, and the split is deterministic."""
+    block.erase()
+    w = block.geometry.wordlines_per_block
+    reads = 7 * w + 3  # deliberately not a multiple of the wordline count
+    block.apply_read_disturb(reads)
+    assert int(block.reads_targeted.sum()) == block.total_reads == reads
+    assert block.reads_targeted.max() - block.reads_targeted.min() == 1
+    # The remainder lands on the lowest wordlines, deterministically.
+    assert (block.reads_targeted[:3] == 8).all()
+    assert (block.reads_targeted[3:] == 7).all()
+
+
+def test_record_reads_batch_matches_loop(block):
+    import copy
+
+    block.erase()
+    other = copy.deepcopy(block)
+    wordlines = np.array([0, 2, 2, 4])
+    counts = np.array([5, 1, 3, 7])
+    block.record_reads(wordlines, counts, vpass=505.0)
+    for wl, c in zip(wordlines, counts):
+        other.record_read(int(wl), vpass=505.0, count=int(c))
+    assert block.total_reads == other.total_reads == 16
+    assert np.array_equal(block.reads_targeted, other.reads_targeted)
+    assert np.allclose(block.disturb_exposure(), other.disturb_exposure())
+
+
 def test_relaxed_vpass_reads_accumulate_less_exposure(block):
     block.erase()
     block.record_read(0, vpass=512.0, count=100)

@@ -48,3 +48,14 @@ def test_chips_with_different_seeds_differ():
     g = FlashGeometry(blocks=1, wordlines_per_block=4, bitlines_per_block=256)
     a, b = FlashChip(g, seed=5), FlashChip(g, seed=6)
     assert not np.array_equal(a.blocks[0].cells.susceptibility, b.blocks[0].cells.susceptibility)
+
+
+def test_chip_record_reads_matches_per_read_accounting(chip):
+    chip.erase_block(0)
+    chip.record_reads(0, np.array([1, 3]), np.array([40, 2]))
+    block = chip.block(0)
+    assert block.total_reads == 42
+    assert block.reads_targeted[1] == 40 and block.reads_targeted[3] == 2
+    # A read targeting wordline 1 disturbs every other wordline.
+    assert block.disturb_exposure(0) == 42.0
+    assert block.disturb_exposure(1) == 2.0

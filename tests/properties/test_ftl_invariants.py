@@ -3,7 +3,10 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.controller import SimulationEngine
 from repro.controller.ftl import PageMappingFtl, SsdConfig
+from repro.units import days
+from repro.workloads import IoTrace, OP_READ, OP_WRITE
 
 CONFIG = SsdConfig(blocks=6, pages_per_block=8, overprovision=0.45, gc_threshold_blocks=1)
 
@@ -30,6 +33,43 @@ def test_mapping_invariants_hold(ops):
     ftl.check_invariants()
     # Every written page remains mapped and unique.
     assert ftl.valid_count.sum() == len(written)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    read_fraction=st.floats(0.0, 1.0),
+    reclaim=st.one_of(st.none(), st.integers(5, 200)),
+)
+def test_invariants_hold_after_every_maintenance_window(seed, read_fraction, reclaim):
+    """Randomized mixed traces through the batched engine, with refresh
+    and read reclaim enabled, keep the mapping consistent at every
+    maintenance boundary — not just at the end of the run."""
+    rng = np.random.default_rng(seed)
+    n_ops = int(rng.integers(50, 600))
+    timestamps = np.sort(rng.uniform(0, days(rng.uniform(0.5, 12.0)), n_ops))
+    ops = np.where(rng.random(n_ops) < read_fraction, OP_READ, OP_WRITE).astype(
+        np.int64
+    )
+    lpns = rng.integers(0, CONFIG.logical_pages, n_ops).astype(np.int64)
+    trace = IoTrace(timestamps, ops, lpns, "random-mixed")
+    engine = SimulationEngine(
+        CONFIG,
+        refresh_interval_days=3.0,
+        read_reclaim_threshold=reclaim,
+        batch=True,
+    )
+    windows = []
+
+    def check(e):
+        e.ftl.check_invariants()
+        windows.append(e.now)
+
+    stats = engine.run_trace(trace, on_window=check)
+    assert len(windows) >= 1
+    reads = int((ops == OP_READ).sum())
+    assert stats.host_reads + stats.unmapped_reads == reads
+    assert stats.host_writes == n_ops - reads
 
 
 @settings(max_examples=20, deadline=None)
