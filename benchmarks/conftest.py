@@ -9,6 +9,7 @@ tables stream by).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,9 @@ import pytest
 from repro.model import FlashChannelModel
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: machine-readable perf trajectory, tracked at the repo root from PR 2 on.
+PHYSICS_JSON = Path(__file__).parent.parent / "BENCH_physics.json"
 
 
 @pytest.fixture(scope="session")
@@ -40,3 +44,31 @@ def emit():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _emit
+
+
+@pytest.fixture
+def emit_json():
+    """Merge a section into the repo-root ``BENCH_physics.json``.
+
+    Each perf bench owns one top-level key; merging (rather than
+    overwriting the file) lets the engine-throughput and physics-hotpath
+    benches compose one perf-trajectory record however they are run.
+    Smoke-scale payloads (``payload["smoke"]`` truthy) are printed but
+    never written — they would clobber the committed full-scale
+    trajectory with toy numbers.
+    """
+
+    def _emit_json(section: str, payload: dict) -> None:
+        if payload.get("smoke"):
+            print(f"[{section}] smoke payload (not recorded): {json.dumps(payload)}")
+            return
+        data = {}
+        if PHYSICS_JSON.exists():
+            try:
+                data = json.loads(PHYSICS_JSON.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        data[section] = payload
+        PHYSICS_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return _emit_json

@@ -30,6 +30,12 @@ def sweep_conducting_counts(
     thresholds = np.asarray(thresholds, dtype=np.float64)
     if thresholds.size == 0:
         raise ValueError("sweep needs at least one threshold")
+    if not record_disturb:
+        # Non-disturbing sweep: the wordline's voltages are frozen for the
+        # whole sweep, so all steps share one materialization.
+        return block.threshold_sweep_counts(wordline, thresholds, now)
+    # Disturbing sweep: every retry read shifts the block a little, so the
+    # steps must be sensed in order, each at its own exposure.
     counts = np.zeros(block.geometry.bitlines_per_block, dtype=np.int64)
     for threshold in thresholds:
         conducting = block.threshold_read(

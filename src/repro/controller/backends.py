@@ -102,16 +102,22 @@ class FlashChipBackend:
 
     Read handling per flushed batch:
 
-    1. charge Vpass-weighted disturb exposure per (block, wordline) in
-       one vectorized call;
+    1. group the batch per block in one pass over the sorted unique
+       physical pages, then charge Vpass-weighted disturb exposure per
+       (block, wordline) in one :meth:`FlashBlock.record_reads` call per
+       block;
     2. ECC-decode each *unique* page of the batch once, at the batch's
        final exposure (repeated reads of a page within one flush return
        the same sensed data, so one decode per page per flush is the
-       exact per-op semantics at a fraction of the cost);
+       exact per-op semantics at a fraction of the cost) — one
+       :meth:`EccDecoder.check_pages` call per block, sensing every page
+       against a single materialization of the block's voltages;
     3. on an uncorrectable page, run Read Disturb Recovery on the
        wordline; if the post-RDR error count fits the ECC capability the
        data is recovered, otherwise it is lost.  Either way the block is
-       queued for relocation so the engine rewrites it to a fresh block.
+       queued for relocation so the engine rewrites it to a fresh block,
+       and later pages of the same flush on that block are skipped (their
+       data is already being remapped).
     """
 
     name = "flash_chip"
@@ -134,6 +140,11 @@ class FlashChipBackend:
         self.initial_pe_cycles = int(initial_pe_cycles)
         self.vpass = float(vpass)
         self.decoder = EccDecoder(ecc)
+        # Capability of the RDR rescue judgement (a wordline holds two
+        # pages) — resolved once per backend instead of per escalation.
+        self._wordline_capability = self.decoder.config.page_capability_bits(
+            2 * self.bitlines_per_block
+        )
         self.rdr = ReadDisturbRecovery(rdr) if enable_rdr else None
         self.seed = int(seed)
         # Filled in bind().
@@ -199,32 +210,38 @@ class FlashChipBackend:
         blocks = unique_ppns // pages_per_block
         pages = unique_ppns % pages_per_block
         wordlines = pages // 2
-        for block in np.unique(blocks):
-            in_block = blocks == block
-            fb = self.block(int(block))
+        # unique_ppns is sorted, so blocks is sorted: one boundary scan
+        # yields the per-block groups for both recording and decoding.
+        group_starts = np.flatnonzero(np.r_[True, blocks[1:] != blocks[:-1]])
+        group_ends = np.r_[group_starts[1:], blocks.size]
+        rescued_wordlines: set[tuple[int, int]] = set()
+        for start, end in zip(group_starts, group_ends):
+            start, end = int(start), int(end)
+            block = int(blocks[start])
+            fb = self.block(block)
             # Reads of both pages of a wordline are one sensing pass each
             # but identical disturb, so the wordline counts just add up.
-            fb.record_reads(wordlines[in_block], counts[in_block], self.vpass)
-        # ECC-decode each unique page once, at post-batch exposure.
-        escalated_blocks: set[int] = set()
-        rescued_wordlines: set[tuple[int, int]] = set()
-        for block, page, wordline in zip(blocks, pages, wordlines):
-            block = int(block)
-            if block in escalated_blocks:
-                # Already queued for relocation this flush; its data is
-                # being remapped, so further decodes add nothing.
+            fb.record_reads(wordlines[start:end], counts[start:end], self.vpass)
+            # ECC-decode each unique programmed page once, at post-batch
+            # exposure.  Page order within the group is ascending — the
+            # order the scalar loop decoded in — so stopping at the first
+            # failure reproduces its escalation bookkeeping exactly.
+            in_block = pages[start:end][fb.programmed[wordlines[start:end]]]
+            if in_block.size == 0:
                 continue
-            fb = self._blocks[block]
-            if not fb.programmed[wordline]:
+            result = self.decoder.check_pages(fb, in_block, now, self.vpass)
+            failures = np.flatnonzero(~result.success)
+            if failures.size == 0:
+                self.pages_checked += in_block.size
+                self.corrected_bits += int(result.raw_errors.sum())
                 continue
-            result = self.decoder.check_page(fb, int(page), now, self.vpass)
-            self.pages_checked += 1
-            if result.success:
-                self.corrected_bits += result.raw_errors
-                continue
+            first = int(failures[0])
+            self.pages_checked += first + 1
+            self.corrected_bits += int(result.raw_errors[:first].sum())
             self.uncorrectable_pages += 1
-            self._escalate(block, int(wordline), now, rescued_wordlines)
-            escalated_blocks.add(block)
+            # The block is queued for relocation; pages after the failure
+            # are skipped this flush, as their data is being remapped.
+            self._escalate(block, int(in_block[first]) // 2, now, rescued_wordlines)
 
     def drain_relocations(self) -> list[int]:
         pending, self._pending_relocations = self._pending_relocations, []
@@ -276,10 +293,9 @@ class FlashChipBackend:
         rescued.add((block, wordline))
         fb = self._blocks[block]
         self.rdr_attempts += 1
-        capability = self.decoder.config.page_capability_bits(
-            2 * self.geometry.bitlines_per_block
+        outcome, recovered = self.rdr.rescue_wordline(
+            fb, wordline, now, self._wordline_capability
         )
-        outcome, recovered = self.rdr.rescue_wordline(fb, wordline, now, capability)
         if recovered:
             self.rdr_recovered += 1
         else:

@@ -117,9 +117,9 @@ class SimulationEngine(FtlObserver):
         self._peak_interval_reads = 0
         # Physics-path read buffer (lpns issued, not yet charged).
         self._pending_reads: list[np.ndarray] = []
-        # Physical pages of per-op reads already charged in the FTL
-        # counters, awaiting the backend's next batch.
-        self._pending_ppns: list[int] = []
+        # Physical pages of already-resolved reads (FTL counters charged),
+        # awaiting the backend's next batch.
+        self._pending_ppns: list[np.ndarray] = []
         # Counter-path change log, active only inside a window's writes.
         self._recording = False
         # Externally installed observer to keep feeding while recording.
@@ -362,52 +362,61 @@ class SimulationEngine(FtlObserver):
     def _run_window_physics(
         self, timestamps: np.ndarray, ops: np.ndarray, lpns: np.ndarray
     ) -> None:
-        """Reads buffer in order; writes and reads of written pages
-        replay per-op so physics sees every order dependence."""
-        write_mask = ops == OP_WRITE
-        if not write_mask.any():
+        """Writes replay per-op; reads resolve vectorized per segment.
+
+        Between two consecutive writes the mapping is frozen (GC, reopen,
+        and relocation all happen inside writes), so each inter-write
+        segment of reads resolves in one :meth:`PageMappingFtl.read_many`
+        call just before the next write — the same counters and physical
+        pages the per-op loop produced, without the Python loop.  Resolved
+        pages buffer for the backend's next flush so decode and disturb
+        stay batch-granular; the trailing segment stays buffered as lpns
+        until :meth:`_flush_reads` (its mapping can only change under a
+        relocation, which flushes first).
+        """
+        write_positions = np.flatnonzero(ops == OP_WRITE)
+        if write_positions.size == 0:
             self._pending_reads.append(lpns)
             self.now = float(timestamps[-1])
             return
-        written = np.unique(lpns[write_mask])
-        events = write_mask | np.isin(lpns, written)
-        event_indices = np.flatnonzero(events)
-        pages_per_block = self.ftl.config.pages_per_block
         prev = 0
-        for i in event_indices:
-            i = int(i)
-            if i > prev:
-                self._pending_reads.append(lpns[prev:i])
-            self.now = float(timestamps[i])
-            lpn = int(lpns[i])
-            if write_mask[i]:
-                self.ftl.write(lpn, self.now)
-                self._drain_relocations()
-            else:
-                loc = self.ftl.read(lpn, self.now)
-                if loc is not None:
-                    # Counters are charged; physics joins the next flush
-                    # so decode/disturb stay batch-granular.
-                    self._pending_ppns.append(loc[0] * pages_per_block + loc[1])
-            prev = i + 1
+        for position in write_positions:
+            position = int(position)
+            if position > prev:
+                self._pending_reads.append(lpns[prev:position])
+            self.now = float(timestamps[position])
+            # The write below may change the mapping of any buffered lpn
+            # (its own lpn directly, others via GC): resolve the buffer
+            # against the still-current mapping first.
+            self._resolve_pending_reads()
+            self.ftl.write(int(lpns[position]), self.now)
+            self._drain_relocations()
+            prev = position + 1
         if prev < lpns.size:
             self._pending_reads.append(lpns[prev:])
         self.now = float(timestamps[-1])
+
+    def _resolve_pending_reads(self) -> None:
+        """Resolve buffered read lpns to physical pages (charging the FTL
+        counters) without flushing them to the backend."""
+        if not self._pending_reads:
+            return
+        pending, self._pending_reads = self._pending_reads, []
+        lpns = pending[0] if len(pending) == 1 else np.concatenate(pending)
+        mapped = self.ftl.read_many(lpns)
+        if mapped.size:
+            self._pending_ppns.append(mapped)
 
     def _flush_reads(self) -> None:
         """Charge all buffered reads against the current mapping."""
         if not self._pending_reads and not self._pending_ppns:
             return
-        pending, self._pending_reads = self._pending_reads, []
-        if pending:
-            lpns = pending[0] if len(pending) == 1 else np.concatenate(pending)
-            mapped = self.ftl.read_many(lpns)
-        else:
-            mapped = np.empty(0, dtype=np.int64)
-        if self._pending_ppns:
-            resolved = np.asarray(self._pending_ppns, dtype=np.int64)
-            self._pending_ppns = []
-            mapped = np.concatenate([mapped, resolved]) if mapped.size else resolved
+        self._resolve_pending_reads()
+        resolved, self._pending_ppns = self._pending_ppns, []
+        if not resolved:
+            self.backend.on_reads(np.empty(0, dtype=np.int64), self.now)
+            return
+        mapped = resolved[0] if len(resolved) == 1 else np.concatenate(resolved)
         self.backend.on_reads(mapped, self.now)
 
     def _drain_relocations(self) -> None:

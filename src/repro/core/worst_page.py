@@ -9,6 +9,8 @@ yields the maximum estimated error (MEE).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flash.block import FlashBlock
 
 
@@ -17,15 +19,11 @@ def predict_worst_page(block: FlashBlock, now: float = 0.0) -> int:
 
     The block is erased and re-programmed as part of the procedure (it runs
     once, after manufacturing).  Measurement reads are excluded from
-    disturb accounting, as a factory characterization pass would be.
+    disturb accounting, as a factory characterization pass would be; the
+    whole profile is one batched error count over the block.
     """
     block.erase(now)
     block.program_random(now)
-    worst_page = 0
-    worst_errors = -1
-    for page in range(block.geometry.pages_per_block):
-        errors = block.page_error_count(page, now, record_disturb=False)
-        if errors > worst_errors:
-            worst_errors = errors
-            worst_page = page
-    return worst_page
+    pages = np.arange(block.geometry.pages_per_block, dtype=np.int64)
+    errors = block.page_error_counts(pages, now, record_disturb=False)
+    return int(np.argmax(errors))

@@ -8,11 +8,17 @@ part of its contribution).
 """
 
 from repro.ecc.config import EccConfig, DEFAULT_ECC
-from repro.ecc.decoder import DecodeResult, EccDecoder, UncorrectableError
+from repro.ecc.decoder import (
+    BatchDecodeResult,
+    DecodeResult,
+    EccDecoder,
+    UncorrectableError,
+)
 
 __all__ = [
     "EccConfig",
     "DEFAULT_ECC",
+    "BatchDecodeResult",
     "DecodeResult",
     "EccDecoder",
     "UncorrectableError",

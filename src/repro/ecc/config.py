@@ -68,11 +68,18 @@ class EccConfig:
 
         The VpassTuner margins are computed against this capability,
         matching the paper's Figure 6 where the margin is 20% of the 1e-3
-        capability line.
+        capability line.  Memoized by configuration *values* (decoders
+        and the RDR escalation path ask on every page, and the answer
+        never changes), so no config instance is pinned by the cache.
         """
         if page_bits <= 0:
             raise ValueError("page must contain at least one bit")
-        return max(int(math.floor(self.tolerable_rber * page_bits)), 1)
+        return _page_capability_bits(
+            self.codeword_bits,
+            self.correctable_bits,
+            self.codeword_failure_target,
+            page_bits,
+        )
 
     def usable_capability_bits(self, page_bits: int) -> int:
         """Page capability minus the paper's 20% reserved margin."""
@@ -91,6 +98,16 @@ class EccConfig:
         lam = max(rber, 0.0) * page_bits
         quantile = 1.0 - 1.0 / (pages + 1.0)
         return int(poisson.ppf(quantile, lam)) if lam > 0 else 0
+
+
+@lru_cache(maxsize=1024)
+def _page_capability_bits(
+    codeword_bits: int, correctable_bits: int, target: float, page_bits: int
+) -> int:
+    return max(
+        int(math.floor(_tolerable_rber(codeword_bits, correctable_bits, target) * page_bits)),
+        1,
+    )
 
 
 @lru_cache(maxsize=64)

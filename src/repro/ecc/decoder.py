@@ -40,6 +40,34 @@ class DecodeResult:
         return self.capability - self.raw_errors
 
 
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Outcome of decoding a batch of equal-sized pages."""
+
+    #: raw bit errors per page.
+    raw_errors: np.ndarray
+    #: per-page decode success (errors within capability).
+    success: np.ndarray
+    #: shared correction capability of the batch's page size.
+    capability: int
+
+    def __len__(self) -> int:
+        return int(self.raw_errors.size)
+
+    @property
+    def margins(self) -> np.ndarray:
+        """Unused correction capability per page (negative on failure)."""
+        return self.capability - self.raw_errors
+
+    def page(self, index: int) -> DecodeResult:
+        """The scalar :class:`DecodeResult` of one page of the batch."""
+        return DecodeResult(
+            success=bool(self.success[index]),
+            raw_errors=int(self.raw_errors[index]),
+            capability=self.capability,
+        )
+
+
 class EccDecoder:
     """Decode pages by comparing raw reads against ground truth.
 
@@ -69,6 +97,28 @@ class EccDecoder:
             raise UncorrectableError(result.raw_errors, result.capability)
         return result
 
+    def decode_pages(
+        self, read_bits: np.ndarray, true_bits: np.ndarray
+    ) -> BatchDecodeResult:
+        """Batched :meth:`decode`: one ``(pages, page_bits)`` comparison.
+
+        Raw errors fall out of a single XOR-sum over the reshaped bit
+        matrices and the capability is resolved once for the shared page
+        size, so decoding a whole flushed batch is a few vectorized
+        passes instead of a Python loop.
+        """
+        read_bits = np.asarray(read_bits)
+        true_bits = np.asarray(true_bits)
+        if read_bits.shape != true_bits.shape:
+            raise ValueError("read and true bit arrays must have the same shape")
+        if read_bits.ndim != 2:
+            raise ValueError("decode_pages expects (pages, page_bits) matrices")
+        errors = np.count_nonzero(read_bits != true_bits, axis=1).astype(np.int64)
+        capability = self.config.page_capability_bits(read_bits.shape[1])
+        return BatchDecodeResult(
+            raw_errors=errors, success=errors <= capability, capability=capability
+        )
+
     def check_page(
         self,
         flash_block,
@@ -90,3 +140,29 @@ class EccDecoder:
         )
         true_bits = flash_block.expected_page_bits(page)
         return self.decode(read_bits, true_bits)
+
+    def check_pages(
+        self,
+        flash_block,
+        pages: np.ndarray,
+        now: float = 0.0,
+        vpass: float | None = None,
+        record_disturb: bool = False,
+    ) -> BatchDecodeResult:
+        """Batched :meth:`check_page` against one simulated block.
+
+        Uses the block's fused error counting
+        (:meth:`~repro.flash.block.FlashBlock.page_error_counts`), so the
+        whole batch shares a single voltage materialization; bit-identical
+        to looping :meth:`check_page`.
+        """
+        kwargs = {} if vpass is None else {"vpass": vpass}
+        errors = flash_block.page_error_counts(
+            pages, now, record_disturb=record_disturb, **kwargs
+        )
+        capability = self.config.page_capability_bits(
+            flash_block.geometry.bitlines_per_block
+        )
+        return BatchDecodeResult(
+            raw_errors=errors, success=errors <= capability, capability=capability
+        )

@@ -22,7 +22,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.flash.cell_array import CellArray
 from repro.flash.block import FlashBlock
 from repro.flash.chip import FlashChip
-from repro.flash.sensing import ReadReferences, sense_states, sense_page
+from repro.flash.sensing import ReadReferences, sense_states, sense_page, sense_pages
 from repro.flash.errors import (
     ErrorBreakdown,
     count_bit_errors,
@@ -45,6 +45,7 @@ __all__ = [
     "ReadReferences",
     "sense_states",
     "sense_page",
+    "sense_pages",
     "ErrorBreakdown",
     "count_bit_errors",
     "measure_rber",

@@ -17,15 +17,43 @@ from repro.units import VPASS_NOMINAL
 from repro.flash.cell_array import CellArray
 from repro.flash.errors import page_bits_from_states
 from repro.flash.geometry import FlashGeometry
-from repro.flash.sensing import DEFAULT_REFERENCES, ReadReferences, sense_page, sense_states
+from repro.flash.sensing import (
+    DEFAULT_REFERENCES,
+    ReadReferences,
+    sense_page,
+    sense_pages,
+    sense_states,
+)
 from repro.flash.state import MlcState, states_from_bits
+from repro.physics import constants
 from repro.physics.read_disturb import DEFAULT_READ_DISTURB, vpass_exposure_weight
 from repro.physics.retention import retained_voltage
+from repro.physics.wear import read_disturb_damage, retention_damage
 
 #: Above this Vpass no programmed cell can be cut off (program-verify bound
 #: plus slack for disturb drift of high cells), so sensing skips the
 #: expensive whole-block materialization.
 _CUTOFF_CHECK_VPASS = 505.0
+
+
+def _unique_sorted(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(values, return_inverse=True)``, cheap for sorted input.
+
+    The backend feeds already-sorted page batches, where the groups fall
+    out of one boundary scan; anything unsorted falls back to the real
+    ``np.unique``.
+    """
+    if values.size <= 1:
+        return values, np.zeros(values.size, dtype=np.int64)
+    if (values[1:] < values[:-1]).any():
+        return np.unique(values, return_inverse=True)
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    inverse = np.empty(values.size, dtype=np.int64)
+    inverse[0] = 0
+    np.cumsum(keep[1:], out=inverse[1:])
+    return values[keep], inverse
 
 
 class FlashBlock:
@@ -57,6 +85,40 @@ class FlashBlock:
         self.total_reads = 0
         self.reads_targeted = np.zeros(geometry.wordlines_per_block, dtype=np.int64)
 
+        # Dirty-epoch voltage cache: `voltage_epoch` counts every mutation
+        # that can change a materialized threshold voltage (program, erase,
+        # disturb recording).  `block_voltages` caches one full-block
+        # materialization per (now, epoch) key, so any number of sensing
+        # operations between mutations shares a single physics pass.
+        self._voltage_epoch = 0
+        self._voltage_cache_key: tuple[float, int] | None = None
+        self._voltage_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Voltage-cache epoch
+    # ------------------------------------------------------------------
+
+    @property
+    def voltage_epoch(self) -> int:
+        """Monotone counter of voltage-affecting mutations.
+
+        Bumped by every program, erase, and disturb-recording operation;
+        :meth:`block_voltages` reuses a materialization only while the
+        epoch (and requested time) are unchanged.
+        """
+        return self._voltage_epoch
+
+    def invalidate_voltage_cache(self) -> None:
+        """Bump the epoch after an out-of-band mutation.
+
+        All :class:`FlashBlock` methods bump the epoch themselves; call
+        this only after mutating cell state directly (e.g. swapping
+        :attr:`disturb_model` or editing :attr:`cells` arrays in a test).
+        """
+        self._voltage_epoch += 1
+        self._voltage_cache_key = None
+        self._voltage_cache = None
+
     # ------------------------------------------------------------------
     # Lifecycle operations
     # ------------------------------------------------------------------
@@ -71,6 +133,7 @@ class FlashBlock:
         self._exposure_targeted[:] = 0.0
         self.total_reads = 0
         self.reads_targeted[:] = 0
+        self.invalidate_voltage_cache()
 
     def cycle_wear_to(self, pe_cycles: int, now: float = 0.0) -> None:
         """Fast-forward wear to *pe_cycles*, like the paper's wear-out loop.
@@ -100,16 +163,35 @@ class FlashBlock:
         self.cells.program_wordline(wordline, states, self.pe_cycles, self._rng)
         self.programmed[wordline] = True
         self.program_time[wordline] = now
+        self.invalidate_voltage_cache()
+
+    def program_block_bits(
+        self,
+        lsb_bits: np.ndarray,
+        msb_bits: np.ndarray,
+        now: float = 0.0,
+    ) -> None:
+        """Program every wordline at once with explicit ``(wordlines,
+        bitlines)`` bit arrays: one vectorized sampling pass per state
+        group instead of one per (wordline, state)."""
+        if self.programmed.any():
+            raise RuntimeError(
+                "block has programmed wordlines; erase it before a full-block program"
+            )
+        states = states_from_bits(lsb_bits, msb_bits)
+        self.cells.program_block(states, self.pe_cycles, self._rng)
+        self.programmed[:] = True
+        self.program_time[:] = now
+        self.invalidate_voltage_cache()
 
     def program_random(self, now: float = 0.0, rng: np.random.Generator | None = None) -> None:
         """Program every wordline with pseudo-random data (paper's workload
-        for characterization experiments)."""
+        for characterization experiments), vectorized over the block."""
         rng = rng if rng is not None else self._rng
-        bits = self.geometry.bitlines_per_block
-        for wordline in range(self.geometry.wordlines_per_block):
-            lsb = rng.integers(0, 2, bits, dtype=np.uint8)
-            msb = rng.integers(0, 2, bits, dtype=np.uint8)
-            self.program_wordline_bits(wordline, lsb, msb, now)
+        shape = (self.geometry.wordlines_per_block, self.geometry.bitlines_per_block)
+        lsb = rng.integers(0, 2, shape, dtype=np.uint8)
+        msb = rng.integers(0, 2, shape, dtype=np.uint8)
+        self.program_block_bits(lsb, msb, now)
 
     # ------------------------------------------------------------------
     # Read disturb accounting
@@ -130,6 +212,7 @@ class FlashBlock:
         self._exposure_targeted[wordline] += weight
         self.total_reads += count
         self.reads_targeted[wordline] += count
+        self._voltage_epoch += 1
 
     def record_reads(
         self,
@@ -153,6 +236,7 @@ class FlashBlock:
         np.add.at(self._exposure_targeted, wordlines, weights)
         self.total_reads += int(counts.sum())
         np.add.at(self.reads_targeted, wordlines, counts)
+        self._voltage_epoch += 1
 
     def apply_read_disturb(
         self,
@@ -177,6 +261,7 @@ class FlashBlock:
         self._total_exposure += weight
         self._exposure_targeted += weight / self.geometry.wordlines_per_block
         self.total_reads += reads
+        self._voltage_epoch += 1
         # Integer bookkeeping: spread as evenly as possible, handing the
         # remainder to the lowest wordlines so reads_targeted.sum() always
         # equals total_reads.
@@ -204,10 +289,93 @@ class FlashBlock:
             v_ret, exposure, susceptibility, self.pe_cycles
         )
 
+    def _materialize_rows(self, wordlines: np.ndarray | slice, now: float) -> np.ndarray:
+        """Fused, allocation-lean :meth:`current_voltages`.
+
+        Performs the exact elementwise operation sequence of the composed
+        physics chain (same grouping of every multiply, so the results
+        are bit-identical — the equivalence suite asserts this) with
+        in-place ufuncs over four buffers.  This is the kernel behind the
+        hot sensing paths; :meth:`current_voltages` stays the readable
+        reference composition.
+        """
+        cells = self.cells
+        v0 = cells.v0[wordlines].astype(np.float64)
+        work = cells.leak[wordlines].astype(np.float64)
+        scratch = cells.susceptibility[wordlines].astype(np.float64)
+        pe = self.pe_cycles
+        # Retention: vr = max(v0 - leak*k*max(v0 - floor, 0), min(v0, floor)).
+        k = np.maximum(now - self.program_time[wordlines], 0.0)[..., None]
+        k /= constants.T0_RET_SECONDS
+        np.log1p(k, out=k)
+        k *= constants.R_RET * float(retention_damage(pe))
+        k /= 512.0
+        charge = v0 - constants.RET_CHARGE_FLOOR
+        np.maximum(charge, 0.0, out=charge)
+        np.negative(work, out=work)
+        work *= k
+        work *= charge
+        work += v0
+        np.minimum(v0, constants.RET_CHARGE_FLOOR, out=charge)
+        np.maximum(work, charge, out=work)
+        # Disturb drift: V = log(exp(k_v*vr) + k_v*(A*susc*damage)*E) / k_v.
+        model = self.disturb_model
+        scratch *= model.amplitude
+        scratch *= float(read_disturb_damage(pe))
+        scratch *= model.k_v
+        scratch *= (self._total_exposure - self._exposure_targeted[wordlines])[..., None]
+        work *= model.k_v
+        np.exp(work, out=work)
+        work += scratch
+        np.log(work, out=work)
+        work /= model.k_v
+        return work
+
+    def block_voltages(self, now: float) -> np.ndarray:
+        """Full-block materialization, cached per ``(now, voltage_epoch)``.
+
+        The returned ``(wordlines, bitlines)`` array is shared by every
+        sensing call until the next voltage-affecting mutation, so it is
+        marked read-only — writing to it raises instead of silently
+        corrupting later reads.
+        """
+        key = (float(now), self._voltage_epoch)
+        if self._voltage_cache is None or self._voltage_cache_key != key:
+            cache = self._materialize_rows(slice(None), now)
+            cache.flags.writeable = False
+            self._voltage_cache = cache
+            self._voltage_cache_key = key
+        return self._voltage_cache
+
+    def _cached_voltages(self, now: float) -> np.ndarray | None:
+        """The cached full-block materialization if warm for *now*."""
+        key = (float(now), self._voltage_epoch)
+        if self._voltage_cache is not None and self._voltage_cache_key == key:
+            return self._voltage_cache
+        return None
+
+    def _wordline_voltages(self, wordlines: np.ndarray, now: float) -> np.ndarray:
+        """Voltages of the given wordlines, through the cache when warm.
+
+        A cold cache materializes only the requested rows (a full-block
+        pass would waste work when the caller needs a few wordlines and no
+        cutoff check); full-block requests warm the cache for later reads.
+        """
+        cached = self._cached_voltages(now)
+        if cached is not None:
+            return cached[wordlines]
+        if wordlines.size >= self.geometry.wordlines_per_block:
+            return self.block_voltages(now)[wordlines]
+        return self._materialize_rows(wordlines, now)
+
     def _cutoff_mask(self, wordline: int, now: float, vpass: float) -> np.ndarray | None:
         """Bitlines cut off when reading *wordline* at *vpass* (or None)."""
         if vpass >= _CUTOFF_CHECK_VPASS:
             return None
+        cached = self._cached_voltages(now)
+        if cached is not None:
+            above = cached > vpass
+            return (above.sum(axis=0) - above[wordline]) > 0
         others = np.arange(self.geometry.wordlines_per_block) != wordline
         voltages = self.current_voltages(now, others)
         return (voltages > vpass).any(axis=0)
@@ -223,10 +391,52 @@ class FlashBlock:
         """Read one page; returns its bit array and disturbs the block."""
         wordline, is_msb = self.geometry.page_to_wordline(page)
         cutoff = self._cutoff_mask(wordline, now, vpass)
-        voltages = self.current_voltages(now, np.array([wordline]))[0]
+        voltages = self._wordline_voltages(np.array([wordline]), now)[0]
         bits = sense_page(voltages, is_msb, references, cutoff)
         if record_disturb:
             self.record_read(wordline, vpass)
+        return bits
+
+    def read_pages(
+        self,
+        pages: np.ndarray,
+        now: float = 0.0,
+        references: ReadReferences = DEFAULT_REFERENCES,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = False,
+    ) -> np.ndarray:
+        """Batched :meth:`read_page`: sense every page of *pages* against
+        one materialization of the block.
+
+        Returns the ``(len(pages), bitlines)`` bit matrix.  All pages are
+        sensed at the entry exposure — bit-identical to a per-page loop
+        with ``record_disturb=False``; with recording on, the disturb of
+        the whole batch is charged *after* sensing (one
+        :meth:`record_reads` call), matching the controller's
+        flush-granular accounting rather than a per-op interleave.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size and (
+            pages.min() < 0 or pages.max() >= self.geometry.pages_per_block
+        ):
+            raise IndexError("page out of range in batched read")
+        wordlines = pages // 2
+        is_msb = pages % 2 == 1
+        if vpass < _CUTOFF_CHECK_VPASS:
+            # One shared cutoff pass for the whole batch: count cells above
+            # vpass per bitline once, then exclude each page's own wordline.
+            full = self.block_voltages(now)
+            above = full > vpass
+            above_counts = above.sum(axis=0)
+            cutoff = (above_counts[None, :] - above[wordlines]) > 0
+            voltages = full[wordlines]
+        else:
+            cutoff = None
+            unique_wordlines, inverse = _unique_sorted(wordlines)
+            voltages = self._wordline_voltages(unique_wordlines, now)[inverse]
+        bits = sense_pages(voltages, is_msb, references, cutoff)
+        if record_disturb and pages.size:
+            self.record_reads(wordlines, np.ones(wordlines.size, dtype=np.int64), vpass)
         return bits
 
     def threshold_read(
@@ -241,13 +451,38 @@ class FlashBlock:
         (V <= threshold).  This is the primitive the paper's read-retry
         threshold-voltage measurement is built from."""
         cutoff = self._cutoff_mask(wordline, now, vpass)
-        voltages = self.current_voltages(now, np.array([wordline]))[0]
+        voltages = self._wordline_voltages(np.array([wordline]), now)[0]
         conducting = voltages <= threshold
         if cutoff is not None:
             conducting &= ~cutoff
         if record_disturb:
             self.record_read(wordline, vpass)
         return conducting
+
+    def threshold_sweep_counts(
+        self,
+        wordline: int,
+        thresholds: np.ndarray,
+        now: float = 0.0,
+        vpass: float = VPASS_NOMINAL,
+    ) -> np.ndarray:
+        """Per-cell count of sweep *thresholds* the cell conducts at,
+        without disturbing the block.
+
+        Equivalent to summing non-recording :meth:`threshold_read` over
+        the sweep, but the wordline is materialized once and the counts
+        fall out of one ``searchsorted`` (a cell at voltage V conducts at
+        every threshold >= V, so its count is order-independent).
+        """
+        thresholds = np.sort(np.asarray(thresholds, dtype=np.float64))
+        if thresholds.size == 0:
+            raise ValueError("sweep needs at least one threshold")
+        cutoff = self._cutoff_mask(wordline, now, vpass)
+        voltages = self._wordline_voltages(np.array([wordline]), now)[0]
+        counts = thresholds.size - np.searchsorted(thresholds, voltages, side="left")
+        if cutoff is not None:
+            counts[cutoff] = 0
+        return counts.astype(np.int64)
 
     def read_wordline_states(
         self,
@@ -259,7 +494,7 @@ class FlashBlock:
     ) -> np.ndarray:
         """Full-state sense of one wordline (used by read-retry sweeps)."""
         cutoff = self._cutoff_mask(wordline, now, vpass)
-        voltages = self.current_voltages(now, np.array([wordline]))[0]
+        voltages = self._wordline_voltages(np.array([wordline]), now)[0]
         states = sense_states(voltages, references, cutoff)
         if record_disturb:
             self.record_read(wordline, vpass)
@@ -274,6 +509,15 @@ class FlashBlock:
         wordline, is_msb = self.geometry.page_to_wordline(page)
         return page_bits_from_states(self.cells.true_states[wordline], is_msb)
 
+    def expected_pages_bits(self, pages: np.ndarray) -> np.ndarray:
+        """Batched :meth:`expected_page_bits`: the ``(len(pages),
+        bitlines)`` ground-truth bit matrix."""
+        pages = np.asarray(pages, dtype=np.int64)
+        states = self.cells.true_states[pages // 2]
+        lsb = page_bits_from_states(states, False)
+        msb = page_bits_from_states(states, True)
+        return np.where((pages % 2 == 1)[:, None], msb, lsb)
+
     def page_error_count(
         self,
         page: int,
@@ -286,6 +530,62 @@ class FlashBlock:
         bits = self.read_page(page, now, references, vpass, record_disturb)
         return int((bits != self.expected_page_bits(page)).sum())
 
+    def page_error_counts(
+        self,
+        pages: np.ndarray,
+        now: float = 0.0,
+        references: ReadReferences = DEFAULT_REFERENCES,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = False,
+    ) -> np.ndarray:
+        """Batched :meth:`page_error_count`: raw bit errors per page.
+
+        Sensing and the ground-truth comparison are fused per unique
+        wordline (both page kinds at once), so a whole block's error
+        profile costs one materialization plus a handful of vectorized
+        passes.  Bit-identical to the scalar loop; as in
+        :meth:`read_pages`, recording (when enabled) charges the batch
+        after sensing.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if pages.min() < 0 or pages.max() >= self.geometry.pages_per_block:
+            raise IndexError("page out of range in batched error count")
+        wordlines = pages // 2
+        unique_wordlines, inverse = _unique_sorted(wordlines)
+        if vpass < _CUTOFF_CHECK_VPASS:
+            full = self.block_voltages(now)
+            above = full > vpass
+            above_counts = above.sum(axis=0)
+            cutoff = (above_counts[None, :] - above[unique_wordlines]) > 0
+            voltages = full[unique_wordlines]
+        else:
+            cutoff = None
+            voltages = self._wordline_voltages(unique_wordlines, now)
+        states = self.cells.true_states[unique_wordlines]
+        # LSB page: sensed bit is V <= Vb (cut-off senses 0, erring wherever
+        # the true bit is 1); MSB page: V <= Va or V > Vc (cut-off senses 1).
+        expected_lsb = page_bits_from_states(states, False)
+        errors_lsb = voltages <= references.vb
+        np.not_equal(errors_lsb, expected_lsb, out=errors_lsb)
+        expected_msb = page_bits_from_states(states, True)
+        errors_msb = voltages <= references.va
+        errors_msb |= voltages > references.vc
+        np.not_equal(errors_msb, expected_msb, out=errors_msb)
+        if cutoff is not None:
+            # A cut-off bitline's sensed bit is fixed (LSB 0 / MSB 1), so
+            # its error flag is just the expected bit (or its complement).
+            np.copyto(errors_lsb, expected_lsb.astype(bool), where=cutoff)
+            np.copyto(errors_msb, expected_msb == 0, where=cutoff)
+        per_wordline = np.empty((unique_wordlines.size, 2), dtype=np.int64)
+        per_wordline[:, 0] = np.count_nonzero(errors_lsb, axis=1)
+        per_wordline[:, 1] = np.count_nonzero(errors_msb, axis=1)
+        counts = per_wordline[inverse, pages % 2]
+        if record_disturb:
+            self.record_reads(wordlines, np.ones(wordlines.size, dtype=np.int64), vpass)
+        return counts
+
     def measure_block_rber(
         self,
         now: float = 0.0,
@@ -294,21 +594,22 @@ class FlashBlock:
         record_disturb: bool = False,
     ) -> float:
         """RBER over all programmed pages (measurement reads are optionally
-        excluded from disturb accounting, like a characterization pass)."""
-        total_bits = 0
-        total_errors = 0
-        for wordline in range(self.geometry.wordlines_per_block):
-            if not self.programmed[wordline]:
-                continue
-            for is_msb in (False, True):
-                page = 2 * wordline + int(is_msb)
-                bits = self.read_page(page, now, references, vpass, record_disturb)
-                expected = self.expected_page_bits(page)
-                total_errors += int((bits != expected).sum())
-                total_bits += bits.size
-        if total_bits == 0:
+        excluded from disturb accounting, like a characterization pass).
+
+        Runs on :meth:`page_error_counts`, so the whole block is measured
+        from a single voltage materialization.  With ``record_disturb``
+        on, every page is sensed at the entry exposure and the
+        measurement's disturb is charged afterwards in one batch — unlike
+        the historical per-page loop, where each measurement read
+        disturbed the pages sensed after it.
+        """
+        programmed = np.flatnonzero(self.programmed)
+        if programmed.size == 0:
             raise RuntimeError("block has no programmed pages to measure")
-        return total_errors / total_bits
+        pages = np.repeat(2 * programmed, 2)
+        pages[1::2] += 1
+        errors = self.page_error_counts(pages, now, references, vpass, record_disturb)
+        return float(errors.sum()) / (pages.size * self.geometry.bitlines_per_block)
 
     def true_states_of_wordline(self, wordline: int) -> np.ndarray:
         """Programmed states of one wordline (ground truth)."""

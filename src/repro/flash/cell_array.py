@@ -89,3 +89,24 @@ class CellArray:
         # state; ground truth stays the *intended* data.
         landed = apply_program_errors(states, pe_cycles, rng)
         self.v0[wordline] = self.sample_voltages(landed, pe_cycles, rng)
+
+    def program_block(
+        self,
+        states: np.ndarray,
+        pe_cycles: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Program the whole block to *states* (``wordlines x bitlines``).
+
+        One program-error draw and one voltage-sampling pass per state
+        group cover every wordline, instead of a per-wordline loop.
+        """
+        states = np.asarray(states, dtype=np.int8)
+        shape = (self.geometry.wordlines_per_block, self.geometry.bitlines_per_block)
+        if states.shape != shape:
+            raise ValueError(f"expected states of shape {shape}, got {states.shape}")
+        if ((states < 0) | (states > 3)).any():
+            raise ValueError("states must be in 0..3")
+        self.true_states[:] = states
+        landed = apply_program_errors(states, pe_cycles, rng)
+        self.v0[:] = self.sample_voltages(landed, pe_cycles, rng)

@@ -60,20 +60,28 @@ def bits_to_state(lsb: int, msb: int) -> MlcState:
     return MlcState(int(_STATE_TABLE[lsb, msb]))
 
 
+def _as_index(states: np.ndarray) -> np.ndarray:
+    """States as an indexable integer array (no copy when already one)."""
+    states = np.asarray(states)
+    if states.dtype.kind not in "iu":
+        states = states.astype(np.int64)
+    return states
+
+
 def lsb_of_state(states: np.ndarray) -> np.ndarray:
     """Vectorized LSB extraction for an integer state array."""
-    return _LSB_TABLE[np.asarray(states, dtype=np.int64)]
+    return _LSB_TABLE[_as_index(states)]
 
 
 def msb_of_state(states: np.ndarray) -> np.ndarray:
     """Vectorized MSB extraction for an integer state array."""
-    return _MSB_TABLE[np.asarray(states, dtype=np.int64)]
+    return _MSB_TABLE[_as_index(states)]
 
 
 def states_from_bits(lsb: np.ndarray, msb: np.ndarray) -> np.ndarray:
     """Vectorized (LSB, MSB) -> state conversion."""
-    lsb = np.asarray(lsb, dtype=np.int64)
-    msb = np.asarray(msb, dtype=np.int64)
+    lsb = _as_index(lsb)
+    msb = _as_index(msb)
     if lsb.shape != msb.shape:
         raise ValueError("lsb and msb arrays must have the same shape")
     if ((lsb < 0) | (lsb > 1) | (msb < 0) | (msb > 1)).any():

@@ -14,6 +14,7 @@ body and tails and creeps the means upward; the wear transforms live in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 import numpy as np
 from scipy.special import ndtr  # Gaussian CDF, vectorized
@@ -64,7 +65,7 @@ class AsymmetricLaplace:
         p_low = self.scale_low / (self.scale_low + self.scale_high)
         low = rng.random(size) < p_low
         out = np.empty(size, dtype=np.float64)
-        n_low = int(low.sum())
+        n_low = int(np.count_nonzero(low))
         out[low] = self.mu - rng.exponential(self.scale_low, n_low)
         out[~low] = self.mu + rng.exponential(self.scale_high, size - n_low)
         return out
@@ -93,8 +94,10 @@ class NormalLaplaceMixture:
         if self.upper_bound <= self.mu:
             raise ValueError("upper bound must exceed the mean")
 
-    @property
+    @cached_property
     def _laplace(self) -> AsymmetricLaplace:
+        # cached_property writes straight into __dict__, which a frozen
+        # dataclass permits; sampling hits this on every draw.
         return AsymmetricLaplace(self.mu, self.scale_low, self.scale_high)
 
     def _raw_cdf(self, x: np.ndarray | float) -> np.ndarray:
@@ -136,7 +139,7 @@ class NormalLaplaceMixture:
             # Program-verify retries; offender fraction is ~1e-4 so a few
             # rounds always suffice.
             for _ in range(100):
-                n_bad = int(bad.sum())
+                n_bad = int(np.count_nonzero(bad))
                 if n_bad == 0:
                     break
                 out[bad] = self._sample_raw(rng, n_bad)
@@ -148,7 +151,7 @@ class NormalLaplaceMixture:
     def _sample_raw(self, rng: np.random.Generator, size: int) -> np.ndarray:
         tail = rng.random(size) < self.tail_weight
         out = np.empty(size, dtype=np.float64)
-        n_tail = int(tail.sum())
+        n_tail = int(np.count_nonzero(tail))
         out[~tail] = rng.normal(self.mu, self.sigma, size - n_tail)
         if n_tail:
             out[tail] = self._laplace.sample(rng, n_tail)
@@ -181,6 +184,7 @@ FRESH_STATE_PARAMS = {
 }
 
 
+@lru_cache(maxsize=512)
 def state_distribution(state: MlcState, pe_cycles: float) -> NormalLaplaceMixture:
     """Return the Vth distribution of *state* on a block with *pe_cycles* wear.
 
@@ -189,6 +193,9 @@ def state_distribution(state: MlcState, pe_cycles: float) -> NormalLaplaceMixtur
     :mod:`repro.physics.wear`.  Programmed states are truncated above by the
     program-verify bound; the erased state is far below the bound so the
     truncation is inert for it.
+
+    Memoized: program paths resolve the same (state, wear) pair for every
+    wordline of a block, and the mixture is immutable.
     """
     params = FRESH_STATE_PARAMS[MlcState(state)]
     widen = sigma_widening(pe_cycles)

@@ -1,0 +1,153 @@
+"""The vectorized FlashChipBackend read path is bit-identical to the
+scalar reference.
+
+`_scalar_on_reads` below is the pre-vectorization `on_reads` loop,
+preserved verbatim as an executable specification: a full engine run with
+it monkeypatched in must produce exactly the same backend summary, run
+stats, and recovery relocations as the shipping vectorized path.  The
+golden-summary tests additionally pin today's behavior to values captured
+*before* the vectorization landed, so a silent semantic drift in either
+path cannot hide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller import FlashChipBackend, SimulationEngine, SsdConfig
+from repro.units import days
+from repro.workloads import IoTrace, OP_READ, OP_WRITE
+
+
+def _scalar_on_reads(backend, ppns, now):
+    """The per-page reference decode loop (PR 1 semantics)."""
+    if ppns.size == 0:
+        return
+    pages_per_block = backend.ftl.config.pages_per_block
+    unique_ppns, counts = np.unique(ppns, return_counts=True)
+    blocks = unique_ppns // pages_per_block
+    pages = unique_ppns % pages_per_block
+    wordlines = pages // 2
+    for block in np.unique(blocks):
+        in_block = blocks == block
+        fb = backend.block(int(block))
+        fb.record_reads(wordlines[in_block], counts[in_block], backend.vpass)
+    escalated_blocks = set()
+    rescued_wordlines = set()
+    for block, page, wordline in zip(blocks, pages, wordlines):
+        block = int(block)
+        if block in escalated_blocks:
+            continue
+        fb = backend._blocks[block]
+        if not fb.programmed[wordline]:
+            continue
+        result = backend.decoder.check_page(fb, int(page), now, backend.vpass)
+        backend.pages_checked += 1
+        if result.success:
+            backend.corrected_bits += result.raw_errors
+            continue
+        backend.uncorrectable_pages += 1
+        backend._escalate(block, int(wordline), now, rescued_wordlines)
+        escalated_blocks.add(block)
+
+
+def _traces(footprint=300, n_ops=20_000, seed=11):
+    rng = np.random.default_rng(seed)
+    precondition = IoTrace(
+        np.zeros(footprint),
+        np.full(footprint, OP_WRITE, dtype=np.int64),
+        rng.permutation(footprint).astype(np.int64),
+        "precondition",
+    )
+    trace = IoTrace(
+        np.sort(rng.uniform(days(0.05), days(3.0), n_ops)),
+        np.where(rng.random(n_ops) < 0.97, OP_READ, OP_WRITE).astype(np.int64),
+        rng.integers(0, footprint, n_ops).astype(np.int64),
+        "hot-read",
+    )
+    return precondition, trace
+
+
+def _run(backend_kwargs, batch=True, scalar_reference=False, n_ops=20_000):
+    config = SsdConfig(blocks=12, pages_per_block=16, overprovision=0.25)
+    backend = FlashChipBackend(**backend_kwargs)
+    if scalar_reference:
+        backend.on_reads = lambda ppns, now: _scalar_on_reads(backend, ppns, now)
+    engine = SimulationEngine(
+        config, read_reclaim_threshold=20_000, backend=backend, batch=batch
+    )
+    precondition, trace = _traces(n_ops=n_ops)
+    engine.run_trace(precondition)
+    stats = engine.run_trace(trace)
+    return engine, stats
+
+
+FRESH = dict(bitlines_per_block=512, seed=5)
+#: heavy wear + relaxed Vpass: exercises cutoff masks, uncorrectable
+#: pages, and the RDR escalation path.
+WORN = dict(bitlines_per_block=512, seed=5, initial_pe_cycles=12000, vpass=500.0)
+
+
+@pytest.mark.parametrize("backend_kwargs", [FRESH, WORN], ids=["fresh", "worn"])
+def test_vectorized_on_reads_matches_scalar_reference(backend_kwargs):
+    vectorized, stats_v = _run(backend_kwargs, n_ops=10_000)
+    reference, stats_r = _run(backend_kwargs, scalar_reference=True, n_ops=10_000)
+    assert vectorized.backend.summary() == reference.backend.summary()
+    assert stats_v == stats_r
+    assert vectorized.recovery_relocations == reference.recovery_relocations
+
+
+# Golden summaries captured on the pre-vectorization implementation (same
+# traces, same seeds).  The vectorized path must keep reproducing them.
+GOLDEN_BATCHED = {
+    "fresh": {
+        "backend": "flash_chip",
+        "bound_blocks": 12,
+        "pages_checked": 18472,
+        "corrected_bits": 329,
+        "uncorrectable_pages": 0,
+        "rdr_attempts": 0,
+        "rdr_recovered": 0,
+        "data_loss_events": 0,
+    },
+    "worn": {
+        "backend": "flash_chip",
+        "bound_blocks": 12,
+        "pages_checked": 16930,
+        "corrected_bits": 2750,
+        "uncorrectable_pages": 138,
+        "rdr_attempts": 138,
+        "rdr_recovered": 0,
+        "data_loss_events": 138,
+    },
+}
+
+GOLDEN_SERIAL_WORN = {
+    "backend": "flash_chip",
+    "bound_blocks": 12,
+    "pages_checked": 7739,
+    "corrected_bits": 1357,
+    "uncorrectable_pages": 51,
+    "rdr_attempts": 51,
+    "rdr_recovered": 0,
+    "data_loss_events": 51,
+}
+
+
+def test_summary_identical_to_pre_vectorization_golden_fresh():
+    engine, stats = _run(FRESH, n_ops=30_000)
+    assert engine.backend.summary() == GOLDEN_BATCHED["fresh"]
+    assert (stats.host_reads, stats.host_writes, stats.gc_runs) == (29094, 1206, 280)
+
+
+def test_summary_identical_to_pre_vectorization_golden_worn():
+    engine, stats = _run(WORN, n_ops=30_000)
+    assert engine.backend.summary() == GOLDEN_BATCHED["worn"]
+    assert (stats.host_reads, stats.host_writes, stats.gc_runs) == (29094, 1206, 250)
+    assert engine.recovery_relocations == 137
+
+
+def test_summary_identical_to_pre_vectorization_golden_serial():
+    engine, stats = _run(WORN, batch=False, n_ops=8_000)
+    assert engine.backend.summary() == GOLDEN_SERIAL_WORN
+    assert (stats.host_reads, stats.host_writes, stats.gc_runs) == (7739, 561, 88)
+    assert engine.recovery_relocations == 51

@@ -53,3 +53,64 @@ def test_clean_page_full_margin(decoder):
 def test_shape_mismatch_rejected(decoder):
     with pytest.raises(ValueError):
         decoder.decode(np.zeros(4), np.zeros(5))
+
+
+# ----------------------------------------------------------------------
+# Batched decoding
+# ----------------------------------------------------------------------
+
+
+def test_decode_pages_matches_scalar_decode(decoder):
+    rng = np.random.default_rng(3)
+    true = rng.integers(0, 2, (7, 4096), dtype=np.uint8)
+    read = true.copy()
+    cap = DEFAULT_ECC.page_capability_bits(4096)
+    # Page error counts straddling the capability, including both edges.
+    for i, n_errors in enumerate([0, 1, cap - 1, cap, cap + 1, 2 * cap, 4096]):
+        read[i, :n_errors] ^= 1
+    batch = decoder.decode_pages(read, true)
+    assert len(batch) == 7
+    assert batch.capability == cap
+    for i in range(7):
+        scalar = decoder.decode(read[i], true[i])
+        assert batch.page(i) == scalar
+        assert batch.raw_errors[i] == scalar.raw_errors
+        assert bool(batch.success[i]) == scalar.success
+        assert batch.margins[i] == scalar.margin
+
+
+def test_decode_pages_rejects_bad_shapes(decoder):
+    with pytest.raises(ValueError):
+        decoder.decode_pages(np.zeros((2, 8)), np.zeros((2, 9)))
+    with pytest.raises(ValueError):
+        decoder.decode_pages(np.zeros(8), np.zeros(8))
+
+
+def test_check_pages_matches_check_page_loop(decoder):
+    from repro.flash import FlashBlock, FlashGeometry
+    from repro.rng import RngFactory
+
+    geometry = FlashGeometry(blocks=1, wordlines_per_block=8, bitlines_per_block=512)
+    blk = FlashBlock(geometry, RngFactory(4))
+    blk.cycle_wear_to(12000)
+    blk.program_random()
+    blk.apply_read_disturb(500_000, target_wordline=0)
+    pages = np.arange(geometry.pages_per_block)
+    for vpass in (512.0, 500.0):
+        batch = decoder.check_pages(blk, pages, now=3600.0, vpass=vpass)
+        for i, page in enumerate(pages):
+            scalar = decoder.check_page(blk, int(page), now=3600.0, vpass=vpass)
+            assert batch.page(i) == scalar
+
+
+def test_page_capability_is_memoized():
+    from repro.ecc.config import EccConfig, _page_capability_bits
+
+    config = DEFAULT_ECC
+    assert config.page_capability_bits(8192) == config.page_capability_bits(8192)
+    assert _page_capability_bits.cache_info().hits > 0
+    # Value-keyed: an equal-but-distinct config hits the same entry
+    # instead of pinning a new instance in a per-object cache.
+    hits = _page_capability_bits.cache_info().hits
+    assert EccConfig().page_capability_bits(8192) == config.page_capability_bits(8192)
+    assert _page_capability_bits.cache_info().hits > hits
