@@ -5,31 +5,41 @@ correction.  Too narrow misses disturbed cells sitting higher above the
 reference; too wide sweeps in unambiguous cells whose "correction" is a
 coin flip.  Also compares the paper's symmetric correction (both sides of
 the reference) against an upper-side-only variant.
+
+Runs through the parallel sweep runner (each grid cell is an independent
+experiment); ``BENCH_WORKERS=N`` shards the sweep across N processes
+with bit-identical rows.
 """
+
+import os
 
 from repro.analysis.characterization import rdr_experiment
 from repro.analysis.reporting import format_table
 from repro.core import RdrConfig
 from repro.flash import FlashGeometry
+from repro.parallel import SweepRunner
 
 GEOMETRY = FlashGeometry(blocks=1, wordlines_per_block=16, bitlines_per_block=8192)
 WINDOWS = (4.0, 8.0, 12.0, 24.0, 48.0)
+PARAMS = tuple((window, below) for window in WINDOWS for below in (True, False))
+
+
+def _rdr_row(param):
+    """One grid cell: picklable module-level function for the worker pool."""
+    window, below = param
+    config = RdrConfig(upper_window=window, correct_below_reference=below)
+    points = rdr_experiment(
+        read_counts=(1_000_000,), geometry=GEOMETRY, wordlines=(0,),
+        seed=13, config=config,
+    )
+    return [window, "both sides" if below else "upper only",
+            f"{points[0].reduction_percent:.1f}%"]
 
 
 def _sweep():
-    rows = []
-    for window in WINDOWS:
-        for below in (True, False):
-            config = RdrConfig(upper_window=window, correct_below_reference=below)
-            points = rdr_experiment(
-                read_counts=(1_000_000,), geometry=GEOMETRY, wordlines=(0,),
-                seed=13, config=config,
-            )
-            rows.append(
-                [window, "both sides" if below else "upper only",
-                 f"{points[0].reduction_percent:.1f}%"]
-            )
-    return rows
+    runner = SweepRunner(workers=int(os.environ.get("BENCH_WORKERS", "1")))
+    labels = [f"window={w}/below={b}" for w, b in PARAMS]
+    return runner.map(_rdr_row, PARAMS, labels=labels)
 
 
 def bench_ablation_rdr_window(benchmark, emit):

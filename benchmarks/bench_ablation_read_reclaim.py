@@ -5,26 +5,43 @@ program cycle by remapping hot blocks; Vpass Tuning shrinks the damage of
 each read.  The paper's related work (Ha et al.) reports the two compose;
 this bench shows the composition on the endurance model: reclaim clips
 the per-interval read pressure, tuning stretches what remains.
+
+Runs through the parallel sweep runner (one endurance evaluation per
+mitigation row); ``BENCH_WORKERS=N`` shards the rows across N processes
+with bit-identical results (the analytic model is picklable pure data).
 """
+
+import os
 
 from repro.analysis.reporting import format_table
 from repro.model import BaselinePolicy, TunedVpassPolicy, endurance
+from repro.parallel import SweepRunner
 
 READS_PER_DAY = 40_000
 RECLAIM_THRESHOLD = 100_000  # reads per refresh interval before remap
+_CAPPED = min(READS_PER_DAY * 7, RECLAIM_THRESHOLD) / 7.0
+
+#: mitigation rows: (label, reads/day after reclaim, policy factory name).
+ROWS = (
+    ("no mitigation", READS_PER_DAY, "baseline"),
+    ("read reclaim", _CAPPED, "baseline"),
+    ("Vpass Tuning", READS_PER_DAY, "tuned"),
+    ("reclaim + tuning", _CAPPED, "tuned"),
+)
+
+_POLICIES = {"baseline": BaselinePolicy, "tuned": TunedVpassPolicy}
+
+
+def _endurance_row(args):
+    """One mitigation row (module-level and lambda-free so it pickles)."""
+    model, label, reads, policy_name = args
+    return [label, endurance(model, reads, _POLICIES[policy_name])]
 
 
 def _compose(model):
-    capped = min(READS_PER_DAY * 7, RECLAIM_THRESHOLD) / 7.0
-    rows = []
-    for label, reads, policy in (
-        ("no mitigation", READS_PER_DAY, BaselinePolicy),
-        ("read reclaim", capped, BaselinePolicy),
-        ("Vpass Tuning", READS_PER_DAY, lambda: TunedVpassPolicy()),
-        ("reclaim + tuning", capped, lambda: TunedVpassPolicy()),
-    ):
-        rows.append([label, endurance(model, reads, policy)])
-    return rows
+    runner = SweepRunner(workers=int(os.environ.get("BENCH_WORKERS", "1")))
+    items = [(model, label, reads, policy) for label, reads, policy in ROWS]
+    return runner.map(_endurance_row, items, labels=[row[0] for row in ROWS])
 
 
 def bench_ablation_read_reclaim_composition(benchmark, emit, lifetime_model):

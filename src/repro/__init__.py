@@ -2,9 +2,12 @@
 Characterization, Mitigation, and Recovery" (Cai et al., DSN 2015).
 
 Public API re-exports: the simulated device (:class:`FlashChip`), the
-analytic channel model (:class:`FlashChannelModel`), and the paper's two
-mechanisms (:class:`VpassTuner`, :class:`ReadDisturbRecovery`).  See
-README.md for a quickstart and DESIGN.md for the system inventory.
+analytic channel model (:class:`FlashChannelModel`), the paper's two
+mechanisms (:class:`VpassTuner`, :class:`ReadDisturbRecovery`), the
+unified simulation engine (:class:`SimulationEngine` and its backends),
+and the sharded sweep subsystem (:class:`ScenarioGrid`,
+:class:`SweepRunner`, ``python -m repro.sweep``).  See README.md for a
+quickstart and docs/architecture.md for the system contracts.
 """
 
 from repro.units import VPASS_NOMINAL, days, hours
@@ -42,6 +45,23 @@ from repro.controller import (
     CounterBackend,
     FlashChipBackend,
     PhysicsBackend,
+    build_engine,
+    run_scenario,
+)
+from repro.workloads import (
+    BackendSpec,
+    GeometrySpec,
+    PolicySpec,
+    Scenario,
+    ScenarioGrid,
+    suite_grid,
+)
+from repro.parallel import (
+    ScenarioFailure,
+    ScenarioResult,
+    SweepReport,
+    SweepRunner,
+    run_sweep,
 )
 
 __version__ = "1.0.0"
@@ -80,5 +100,18 @@ __all__ = [
     "CounterBackend",
     "FlashChipBackend",
     "PhysicsBackend",
+    "build_engine",
+    "run_scenario",
+    "BackendSpec",
+    "GeometrySpec",
+    "PolicySpec",
+    "Scenario",
+    "ScenarioGrid",
+    "suite_grid",
+    "ScenarioFailure",
+    "ScenarioResult",
+    "SweepReport",
+    "SweepRunner",
+    "run_sweep",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from repro.controller.backends import (
     FlashChipBackend,
 )
 from repro.controller.engine import SimulationEngine, SsdRunStats
+from repro.controller.factory import build_backend, build_engine, run_scenario
 from repro.controller.ssd import SsdSimulator
 from repro.controller.stats import block_read_pressure, hottest_block_reads_per_day
 
@@ -44,6 +45,9 @@ __all__ = [
     "SimulationEngine",
     "SsdSimulator",
     "SsdRunStats",
+    "build_backend",
+    "build_engine",
+    "run_scenario",
     "block_read_pressure",
     "hottest_block_reads_per_day",
 ]

@@ -203,6 +203,29 @@ class FlashChipBackend:
         pass
 
     def on_reads(self, ppns: np.ndarray, now: float) -> None:
+        """Apply one flushed batch of mapped host reads to the chip.
+
+        One grouping pass over the sorted unique pages of the batch,
+        then per touched block: one
+        :meth:`~repro.flash.block.FlashBlock.record_reads` (bulk disturb
+        charge) and one :meth:`~repro.ecc.decoder.EccDecoder.check_pages`
+        (every unique programmed page decoded once, at the batch's final
+        exposure, against a single voltage materialization).
+
+        **Bit-identity.**  Decode granularity is *per flush*: repeated
+        reads of a page within one flush sense identical data, so one
+        decode per unique page reproduces the per-op loop's outcomes
+        exactly on that flush boundary; within a block, pages decode in
+        ascending order and decoding stops at the first uncorrectable
+        page — the scalar escalation bookkeeping — before RDR runs and
+        the block is queued for relocation (golden summaries in
+        ``tests/controller/test_backend_vectorized.py`` pin all of it).
+
+        **Cache precondition.**  Assumes *ppns* were resolved against
+        the mapping current at flush time (the engine flushes before any
+        relocation moves data); the voltage cache is managed by the
+        block's own epoch bumps.
+        """
         if ppns.size == 0:
             return
         pages_per_block = self.ftl.config.pages_per_block
@@ -246,6 +269,23 @@ class FlashChipBackend:
     def drain_relocations(self) -> list[int]:
         pending, self._pending_relocations = self._pending_relocations, []
         return pending
+
+    def worst_block_rber(self, now: float) -> float | None:
+        """Worst current RBER across bound blocks with programmed data
+        (or None when nothing is programmed yet).
+
+        A non-recording characterization pass: no disturb is charged and
+        no RNG is consumed, so observing a run (e.g. the sweep runner's
+        per-window trajectory) cannot perturb it.
+        """
+        worst = None
+        for fb in self._blocks.values():
+            if not fb.programmed.any():
+                continue
+            rber = fb.measure_block_rber(now=now, vpass=self.vpass)
+            if worst is None or rber > worst:
+                worst = rber
+        return worst
 
     def summary(self) -> dict:
         return {

@@ -94,6 +94,25 @@ class FtlObserver:
     def on_relocate_begin(self, block: int, now: float) -> None:
         """A relocation of *block* is about to start (mapping still old)."""
 
+    def on_append_many(
+        self,
+        block: int,
+        pages: np.ndarray,
+        lpns: np.ndarray,
+        old_ppns: np.ndarray,
+        now: float,
+    ) -> None:
+        """A contiguous run of logical pages was appended to *block*
+        (``pages`` ascending, one relocation chunk).
+
+        The default unrolls into per-page :meth:`on_append` calls in page
+        order, so observers that only implement the scalar hook see the
+        exact event sequence of a per-page append loop; observers on a
+        hot path may override this with a batched handler instead.
+        """
+        for page, lpn, old_ppn in zip(pages, lpns, old_ppns):
+            self.on_append(block, int(page), int(lpn), int(old_ppn), now)
+
 
 class PageMappingFtl:
     """The mapping engine of the simulated SSD controller."""
@@ -265,6 +284,13 @@ class PageMappingFtl:
 
         This is the shared primitive behind GC, remapping-based refresh,
         and read reclaim.  Returns the number of pages moved.
+
+        Valid pages move in bulk (:meth:`_append_many`): mapping arrays
+        update vectorized per destination block, bit-identical in final
+        state and observer event order to the historical per-page
+        :meth:`_append` loop (``tests/controller/test_ftl.py`` pins the
+        equivalence; the physics-path golden summaries in
+        ``tests/controller/test_backend_vectorized.py`` pin it end to end).
         """
         if self.block_state[block] == int(BlockState.FREE):
             raise ValueError(f"block {block} is free; nothing to relocate")
@@ -276,12 +302,55 @@ class PageMappingFtl:
             self._active_block = self._allocate_block(now)
         start = block * self.config.pages_per_block
         lpns = self.p2l[start : start + self.config.pages_per_block]
-        moved = 0
-        for lpn in lpns[lpns != self.INVALID]:
-            self._append(int(lpn), now)
-            moved += 1
+        # Boolean indexing yields a fresh array, so the erase below cannot
+        # alias it through the p2l view.
+        valid = lpns[lpns != self.INVALID]
+        moved = int(valid.size)
+        if moved:
+            self._append_many(valid, block, now)
         self._erase(block, now)
         return moved
+
+    def _append_many(self, lpns: np.ndarray, source_block: int, now: float) -> None:
+        """Bulk :meth:`_append` for relocation: every *lpn* currently maps
+        into *source_block*, each exactly once.
+
+        Writes land at the write pointer in chunks bounded by the open
+        block's remaining room; chunk boundaries fall exactly where the
+        per-page loop would have closed the block and opened the next, so
+        the block open/close event order — and therefore wear leveling —
+        is unchanged.  Observers receive one :meth:`FtlObserver.on_append_many`
+        per chunk (per-page order preserved by its default unrolling).
+        """
+        cfg = self.config
+        # The old copies all live in the source block, which cannot be a
+        # destination (it is not free until the erase below), so they can
+        # be invalidated up front in one pass.  Fancy indexing returns a
+        # fresh array, so the l2p updates below cannot alias old_ppns.
+        old_ppns = self.l2p[lpns]
+        self.p2l[old_ppns] = self.INVALID
+        self.valid_count[source_block] -= lpns.size
+        position = 0
+        while position < lpns.size:
+            block = self._active_block
+            pointer = int(self.write_pointer[block])
+            take = min(cfg.pages_per_block - pointer, int(lpns.size) - position)
+            chunk = lpns[position : position + take]
+            pages = np.arange(pointer, pointer + take, dtype=np.int64)
+            ppns = block * cfg.pages_per_block + pages
+            self.l2p[chunk] = ppns
+            self.p2l[ppns] = chunk
+            self.valid_count[block] += take
+            self.write_pointer[block] += take
+            self.flash_writes += take
+            if self.observer is not None:
+                self.observer.on_append_many(
+                    block, pages, chunk, old_ppns[position : position + take], now
+                )
+            if self.write_pointer[block] == cfg.pages_per_block:
+                self.block_state[block] = int(BlockState.CLOSED)
+                self._active_block = self._allocate_block(now)
+            position += take
 
     # ------------------------------------------------------------------
     # Introspection

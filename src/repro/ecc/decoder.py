@@ -106,6 +106,13 @@ class EccDecoder:
         matrices and the capability is resolved once for the shared page
         size, so decoding a whole flushed batch is a few vectorized
         passes instead of a Python loop.
+
+        **Bit-identity.**  ``decode_pages(R, T).page(i)`` equals
+        ``decode(R[i], T[i])`` for every row — same raw-error counts,
+        same success flags, same capability (pinned by
+        ``tests/ecc/test_decoder.py``).  Decoding only reads its
+        arguments; it never mutates block state or consumes RNG, so it
+        can run on any sensed batch without perturbing the simulation.
         """
         read_bits = np.asarray(read_bits)
         true_bits = np.asarray(true_bits)
@@ -153,8 +160,18 @@ class EccDecoder:
 
         Uses the block's fused error counting
         (:meth:`~repro.flash.block.FlashBlock.page_error_counts`), so the
-        whole batch shares a single voltage materialization; bit-identical
-        to looping :meth:`check_page`.
+        whole batch shares a single voltage materialization.
+
+        **Bit-identity.**  Results equal a non-recording
+        :meth:`check_page` loop over *pages*; every page is sensed at
+        the batch's entry exposure (recording, when enabled, charges
+        disturb after sensing — the flush-granular contract of
+        :meth:`~repro.controller.backends.FlashChipBackend.on_reads`).
+
+        **Cache precondition.**  Inherits the block's ``(now,
+        voltage_epoch)`` cache contract: out-of-band cell mutations need
+        :meth:`~repro.flash.block.FlashBlock.invalidate_voltage_cache`
+        before decoding.
         """
         kwargs = {} if vpass is None else {"vpass": vpass}
         errors = flash_block.page_error_counts(

@@ -408,12 +408,22 @@ class FlashBlock:
         """Batched :meth:`read_page`: sense every page of *pages* against
         one materialization of the block.
 
-        Returns the ``(len(pages), bitlines)`` bit matrix.  All pages are
-        sensed at the entry exposure — bit-identical to a per-page loop
-        with ``record_disturb=False``; with recording on, the disturb of
-        the whole batch is charged *after* sensing (one
-        :meth:`record_reads` call), matching the controller's
-        flush-granular accounting rather than a per-op interleave.
+        Returns the ``(len(pages), bitlines)`` bit matrix.
+
+        **Bit-identity.**  All pages are sensed at the entry exposure —
+        bit-identical to a per-page loop with ``record_disturb=False``
+        (the equivalence suite in ``tests/flash/test_batched_sensing.py``
+        pins this); with recording on, the disturb of the whole batch is
+        charged *after* sensing (one :meth:`record_reads` call), matching
+        the controller's flush-granular accounting rather than a per-op
+        interleave.
+
+        **Cache precondition.**  Sensing reads the ``(now,
+        voltage_epoch)``-keyed cache behind :meth:`block_voltages`; every
+        mutation through this class bumps the epoch, but out-of-band
+        edits to :attr:`cells` or :attr:`disturb_model` must call
+        :meth:`invalidate_voltage_cache` first or this batch senses stale
+        voltages.
         """
         pages = np.asarray(pages, dtype=np.int64)
         if pages.size and (
@@ -469,10 +479,18 @@ class FlashBlock:
         """Per-cell count of sweep *thresholds* the cell conducts at,
         without disturbing the block.
 
-        Equivalent to summing non-recording :meth:`threshold_read` over
-        the sweep, but the wordline is materialized once and the counts
-        fall out of one ``searchsorted`` (a cell at voltage V conducts at
-        every threshold >= V, so its count is order-independent).
+        **Bit-identity.**  Equal to summing non-recording
+        :meth:`threshold_read` over the sweep, but the wordline is
+        materialized once and the counts fall out of one
+        ``searchsorted`` (a cell at voltage V conducts at every
+        threshold >= V, so its count is order-independent).  Only valid
+        for *non-disturbing* sweeps: a recording read-retry sweep
+        physically shifts the block between steps and must stay an
+        ordered per-step loop (as RDR's sweeps do).
+
+        **Cache precondition.**  Same as :meth:`read_pages`: warm
+        ``(now, voltage_epoch)`` caches are reused, so out-of-band cell
+        mutations require :meth:`invalidate_voltage_cache`.
         """
         thresholds = np.sort(np.asarray(thresholds, dtype=np.float64))
         if thresholds.size == 0:
@@ -543,9 +561,17 @@ class FlashBlock:
         Sensing and the ground-truth comparison are fused per unique
         wordline (both page kinds at once), so a whole block's error
         profile costs one materialization plus a handful of vectorized
-        passes.  Bit-identical to the scalar loop; as in
-        :meth:`read_pages`, recording (when enabled) charges the batch
-        after sensing.
+        passes.
+
+        **Bit-identity.**  Counts equal a non-recording scalar
+        :meth:`page_error_count` loop exactly (equivalence suite:
+        ``tests/flash/test_batched_sensing.py``, including relaxed-Vpass
+        cutoff cases); as in :meth:`read_pages`, recording (when
+        enabled) charges the batch's disturb after sensing.
+
+        **Cache precondition.**  Same ``(now, voltage_epoch)`` cache
+        contract as :meth:`read_pages`: call
+        :meth:`invalidate_voltage_cache` after any out-of-band mutation.
         """
         pages = np.asarray(pages, dtype=np.int64)
         if pages.size == 0:

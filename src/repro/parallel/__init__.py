@@ -1,0 +1,28 @@
+"""Sharded parallel scenario sweeps.
+
+The paper's campaigns — RBER vs. read counts, Vpass sweeps,
+refresh/reclaim ablations — are grids of independent simulations, and
+this package runs them across worker processes with results bit-identical
+to serial execution:
+
+- describe the campaign with a :class:`~repro.workloads.grid.ScenarioGrid`
+  (workload x geometry x policy x backend x seeds);
+- run it with :class:`SweepRunner` (``SweepRunner(workers=4).run(grid)``)
+  or the ``python -m repro.sweep`` CLI;
+- read the merged :class:`SweepReport`, keyed by scenario id.
+
+See ``docs/architecture.md`` ("The sweep subsystem") for the determinism
+contract and ``tests/parallel/`` for the equivalence suite.
+"""
+
+from repro.parallel.results import ScenarioFailure, ScenarioResult, SweepReport
+from repro.parallel.runner import SweepRunner, default_workers, run_sweep
+
+__all__ = [
+    "ScenarioFailure",
+    "ScenarioResult",
+    "SweepReport",
+    "SweepRunner",
+    "default_workers",
+    "run_sweep",
+]

@@ -32,6 +32,26 @@ def stream(name: str, seed: int = 0) -> np.random.Generator:
     return np.random.default_rng([_stream_key(name), int(seed) & 0xFFFFFFFF])
 
 
+def spawn_key(seed: int, *parts: str | int | float) -> int:
+    """Deterministically derive a child seed from *seed* and a label path.
+
+    This is the worker-safe seeding primitive behind the sweep runner
+    (:mod:`repro.parallel`): the derived key depends only on the root seed
+    and the labels — never on process identity, worker assignment, or the
+    order scenarios are executed in — so a scenario's RNG streams are
+    bit-identical whether it runs in-process, in a worker pool, or alone.
+
+    Each label folds into the key with the same CRC mix as
+    :meth:`RngFactory.child` (``spawn_key(seed, x)`` equals
+    ``RngFactory(seed).child(x).seed``); multiple labels chain, e.g.
+    ``spawn_key(root, scenario_id, "workload")``.
+    """
+    mixed = int(seed)
+    for part in parts:
+        mixed = zlib.crc32(str(part).encode("utf-8")) ^ (mixed * 2654435761 & 0xFFFFFFFF)
+    return mixed
+
+
 class RngFactory:
     """Factory producing named, reproducible RNG streams from one root seed.
 
@@ -50,8 +70,16 @@ class RngFactory:
 
     def child(self, suffix: str | int) -> "RngFactory":
         """Derive a sub-factory (e.g. one per block) from this factory."""
-        mixed = zlib.crc32(str(suffix).encode("utf-8")) ^ (self.seed * 2654435761 & 0xFFFFFFFF)
-        return RngFactory(mixed)
+        return RngFactory(spawn_key(self.seed, suffix))
+
+    def spawn(self, *parts: str | int | float) -> "RngFactory":
+        """Derive a sub-factory along a label path (see :func:`spawn_key`).
+
+        ``factory.spawn(a, b)`` is ``factory.child(a).child(b)``: a
+        stable address for one scenario's randomness inside a sweep,
+        independent of which worker process runs it.
+        """
+        return RngFactory(spawn_key(self.seed, *parts))
 
     def __repr__(self) -> str:
         return f"RngFactory(seed={self.seed})"

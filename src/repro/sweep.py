@@ -1,0 +1,177 @@
+"""``python -m repro.sweep``: run a scenario sweep from the command line.
+
+Builds a :class:`~repro.workloads.grid.ScenarioGrid` from the flags,
+fans it out with :class:`~repro.parallel.SweepRunner`, prints a summary
+table, and optionally writes the full merged report as JSON.
+
+Examples::
+
+    # Two suite workloads, 3 seeds each, across 4 worker processes
+    python -m repro.sweep --workloads web_0 prxy_0 --seeds 3 --workers 4
+
+    # Full-fidelity physics sweep with an RBER trajectory, saved to JSON
+    python -m repro.sweep --workloads webmail --backend flash_chip \\
+        --blocks 16 --pages-per-block 32 --overprovision 0.2 \\
+        --trajectory --json sweep.json
+
+    # What can I sweep?
+    python -m repro.sweep --list-workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.parallel import SweepRunner
+from repro.workloads.grid import BackendSpec, GeometrySpec, PolicySpec, ScenarioGrid
+from repro.workloads.suites import WORKLOAD_SUITE, suite_grid, workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Sharded parallel scenario sweeps over the simulation engine.",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=["web_0"], metavar="NAME",
+        help="suite workload names to sweep (see --list-workloads)",
+    )
+    parser.add_argument(
+        "--list-workloads", action="store_true",
+        help="print the workload suite and exit",
+    )
+    parser.add_argument("--days", type=float, default=1.0, help="trace duration per scenario")
+    parser.add_argument("--seeds", type=int, default=1, help="replicas per grid cell")
+    parser.add_argument("--root-seed", type=int, default=0, help="root of all derived seeds")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--backend", choices=("counter", "flash_chip"), default="counter",
+        help="physics behind the FTL (counter = bookkeeping, flash_chip = Monte-Carlo cells)",
+    )
+    geometry = parser.add_argument_group("geometry")
+    geometry.add_argument("--blocks", type=int, default=256)
+    geometry.add_argument("--pages-per-block", type=int, default=256)
+    geometry.add_argument("--overprovision", type=float, default=0.07)
+    policy = parser.add_argument_group("maintenance policy")
+    policy.add_argument("--refresh-days", type=float, default=7.0)
+    policy.add_argument(
+        "--reclaim", type=int, default=None, metavar="READS",
+        help="read-reclaim threshold (reads/interval); omit to disable",
+    )
+    policy.add_argument("--maintenance-days", type=float, default=1.0)
+    physics = parser.add_argument_group("flash-chip backend")
+    physics.add_argument("--bitlines", type=int, default=2048)
+    physics.add_argument("--pe-cycles", type=int, default=0, help="initial wear")
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="record a per-maintenance-window trajectory (incl. worst-block "
+        "RBER with the flash_chip backend)",
+    )
+    parser.add_argument(
+        "--serial-check", action="store_true",
+        help="also run workers=1 and assert the merged reports are identical",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the full merged report as JSON",
+    )
+    return parser
+
+
+def build_grid(args: argparse.Namespace) -> ScenarioGrid:
+    """Translate parsed flags into a scenario grid (via the suite adapter)."""
+    try:
+        return suite_grid(
+            args.workloads,
+            geometries=(
+                GeometrySpec(
+                    blocks=args.blocks,
+                    pages_per_block=args.pages_per_block,
+                    overprovision=args.overprovision,
+                ),
+            ),
+            policies=(
+                PolicySpec(
+                    name="reclaim" if args.reclaim is not None else "baseline",
+                    refresh_interval_days=args.refresh_days,
+                    read_reclaim_threshold=args.reclaim,
+                    maintenance_period_days=args.maintenance_days,
+                ),
+            ),
+            backends=(
+                BackendSpec(
+                    kind=args.backend,
+                    bitlines_per_block=args.bitlines,
+                    initial_pe_cycles=args.pe_cycles,
+                ),
+            ),
+            seeds=args.seeds,
+            duration_days=args.days,
+            root_seed=args.root_seed,
+            record_trajectory=args.trajectory,
+        )
+    except KeyError as exc:
+        # suite_grid already names exactly the unknown workloads.
+        raise SystemExit(exc.args[0]) from None
+
+
+def summary_table(report) -> str:
+    """Human-readable digest of a merged report."""
+    rows = []
+    for result in report:
+        stats = result.stats
+        backend = result.backend
+        rows.append(
+            [
+                result.scenario_id,
+                f"{stats['host_reads']:,}",
+                f"{stats['host_writes']:,}",
+                f"{stats['write_amplification']:.2f}",
+                f"{stats['peak_block_reads_per_interval']:,}",
+                backend.get("uncorrectable_pages", "-"),
+                backend.get("data_loss_events", "-"),
+            ]
+        )
+    return format_table(
+        ["scenario", "reads", "writes", "WA", "peak reads/intvl",
+         "uncorrectable", "data loss"],
+        rows,
+        title=f"Sweep report ({len(report)} scenarios, workers={report.workers})",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_workloads:
+        for name in workload_names():
+            print(f"{name:12s} {WORKLOAD_SUITE[name].description}")
+        return 0
+    grid = build_grid(args)
+    runner = SweepRunner(workers=args.workers)
+    print(
+        f"sweeping {len(grid)} scenarios across {runner.workers} "
+        f"worker{'s' if runner.workers != 1 else ''}...",
+        flush=True,
+    )
+    report = runner.run(grid)
+    if args.serial_check:
+        serial = SweepRunner(workers=1).run(grid)
+        if serial.results != report.results:
+            raise SystemExit("parallel report diverged from serial execution")
+        print("serial check: workers=1 report is identical")
+    print(summary_table(report))
+    if args.json is not None:
+        args.json.write_text(report.to_json() + "\n")
+        print(f"full report written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

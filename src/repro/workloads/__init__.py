@@ -11,7 +11,14 @@ on (read disturb is driven by per-block read pressure).
 
 from repro.workloads.trace import IoTrace, OP_READ, OP_WRITE, maintenance_windows
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
-from repro.workloads.suites import WORKLOAD_SUITE, workload_names, get_workload
+from repro.workloads.grid import (
+    BackendSpec,
+    GeometrySpec,
+    PolicySpec,
+    Scenario,
+    ScenarioGrid,
+)
+from repro.workloads.suites import WORKLOAD_SUITE, workload_names, get_workload, suite_grid
 
 __all__ = [
     "IoTrace",
@@ -20,7 +27,13 @@ __all__ = [
     "maintenance_windows",
     "SyntheticWorkload",
     "WorkloadSpec",
+    "BackendSpec",
+    "GeometrySpec",
+    "PolicySpec",
+    "Scenario",
+    "ScenarioGrid",
     "WORKLOAD_SUITE",
     "workload_names",
     "get_workload",
+    "suite_grid",
 ]

@@ -12,6 +12,7 @@ these parameters control.
 
 from __future__ import annotations
 
+from repro.workloads.grid import ScenarioGrid
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
 
 _SPECS = (
@@ -117,3 +118,26 @@ def get_workload(name: str, seed: int = 0) -> SyntheticWorkload:
             f"unknown workload {name!r}; available: {', '.join(workload_names())}"
         )
     return SyntheticWorkload(WORKLOAD_SUITE[name], seed=seed)
+
+
+def suite_grid(names: list[str] | None = None, **grid_kwargs) -> ScenarioGrid:
+    """The evaluation suite as a sweep grid (paper Figure 8's campaign).
+
+    Adapter onto the parallel sweep runner: *names* selects workloads
+    (default: the whole suite, in canonical order) and *grid_kwargs*
+    forward to :class:`~repro.workloads.grid.ScenarioGrid` (geometries,
+    policies, backends, seeds, duration_days, ...).  Example::
+
+        from repro.parallel import run_sweep
+        report = run_sweep(suite_grid(duration_days=7.0), workers=4)
+    """
+    if names is None:
+        names = workload_names()
+    missing = [name for name in names if name not in WORKLOAD_SUITE]
+    if missing:
+        raise KeyError(
+            f"unknown workloads {missing}; available: {', '.join(workload_names())}"
+        )
+    return ScenarioGrid(
+        workloads=tuple(WORKLOAD_SUITE[name] for name in names), **grid_kwargs
+    )

@@ -138,3 +138,137 @@ def test_invalid_configs():
         SsdConfig(overprovision=0.9)
     with pytest.raises(ValueError):
         SsdConfig(gc_threshold_blocks=0)
+
+
+# ----------------------------------------------------------------------
+# Batched relocation: bit-identical to the per-page append loop
+# ----------------------------------------------------------------------
+
+
+class _EventRecorder:
+    """Observer recording every hook invocation, per-page granularity."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_append(self, block, page, lpn, old_ppn, now):
+        self.events.append(("append", block, page, lpn, old_ppn, now))
+
+    def on_open(self, block, now):
+        self.events.append(("open", block, now))
+
+    def on_erase(self, block, now):
+        self.events.append(("erase", block, now))
+
+    def on_relocate_begin(self, block, now):
+        self.events.append(("relocate", block, now))
+
+    def on_append_many(self, block, pages, lpns, old_ppns, now):
+        # Deliberately rely on the FtlObserver default unrolling.
+        from repro.controller.ftl import FtlObserver
+
+        FtlObserver.on_append_many(self, block, pages, lpns, old_ppns, now)
+
+
+def _relocate_per_page(ftl, block, now):
+    """The historical per-page relocation loop (pre-batching reference)."""
+    if ftl.block_state[block] == int(BlockState.FREE):
+        raise ValueError(f"block {block} is free; nothing to relocate")
+    if ftl.observer is not None:
+        ftl.observer.on_relocate_begin(block, now)
+    if block == ftl._active_block:
+        ftl.block_state[block] = int(BlockState.CLOSED)
+        ftl._active_block = ftl._allocate_block(now)
+    start = block * ftl.config.pages_per_block
+    lpns = ftl.p2l[start : start + ftl.config.pages_per_block]
+    moved = 0
+    for lpn in lpns[lpns != ftl.INVALID]:
+        ftl._append(int(lpn), now)
+        moved += 1
+    ftl._erase(block, now)
+    return moved
+
+
+def _prepare_pair(seed=0, writes=600):
+    """Two FTLs in an identical, GC-exercised state with recorders."""
+    rng = np.random.default_rng(seed)
+    lpns = rng.integers(0, SMALL.logical_pages, writes)
+    pair = []
+    for _ in range(2):
+        ftl = PageMappingFtl(SMALL)
+        recorder = _EventRecorder()
+        ftl.observer = recorder
+        for lpn in lpns:
+            ftl.write(int(lpn), now=1.0)
+        recorder.events.clear()
+        pair.append((ftl, recorder))
+    return pair
+
+
+def _assert_same_state(a, b):
+    assert np.array_equal(a.l2p, b.l2p)
+    assert np.array_equal(a.p2l, b.p2l)
+    assert np.array_equal(a.valid_count, b.valid_count)
+    assert np.array_equal(a.block_state, b.block_state)
+    assert np.array_equal(a.write_pointer, b.write_pointer)
+    assert np.array_equal(a.pe_cycles, b.pe_cycles)
+    assert np.array_equal(a.reads_since_program, b.reads_since_program)
+    assert a._free_blocks == b._free_blocks
+    assert a._active_block == b._active_block
+    assert a.flash_writes == b.flash_writes
+
+
+def test_batched_relocation_matches_per_page_loop():
+    """relocate_block's bulk path == the per-page reference: same final
+    state and the same per-page observer event sequence."""
+    (batched, rec_b), (reference, rec_r) = _prepare_pair()
+    victims = np.flatnonzero(batched.block_state == int(BlockState.CLOSED))[:3]
+    for victim in victims:
+        moved_b = batched.relocate_block(int(victim), now=2.0)
+        moved_r = _relocate_per_page(reference, int(victim), now=2.0)
+        assert moved_b == moved_r
+    _assert_same_state(batched, reference)
+    assert rec_b.events == rec_r.events
+    batched.check_invariants()
+
+
+def test_batched_relocation_spanning_multiple_destinations():
+    """A relocation that overflows the open block closes it mid-move and
+    continues into freshly allocated blocks, exactly like the loop."""
+    (batched, rec_b), (reference, rec_r) = _prepare_pair(seed=7)
+    # Nearly fill the active block so the victim's pages must span it.
+    fill = SMALL.pages_per_block - int(
+        batched.write_pointer[batched._active_block]
+    ) - 2
+    for i in range(max(fill, 0)):
+        batched.write(i % SMALL.logical_pages, now=1.5)
+        reference.write(i % SMALL.logical_pages, now=1.5)
+    rec_b.events.clear()
+    rec_r.events.clear()
+    closed = np.flatnonzero(batched.block_state == int(BlockState.CLOSED))
+    victim = int(closed[np.argmax(batched.valid_count[closed])])
+    assert batched.valid_count[victim] > 2
+    batched.relocate_block(victim, now=2.0)
+    _relocate_per_page(reference, victim, now=2.0)
+    _assert_same_state(batched, reference)
+    assert rec_b.events == rec_r.events
+    # The relocation really did cross a block boundary.
+    open_events = [e for e in rec_b.events if e[0] == "open"]
+    assert open_events, "victim should have spanned into a new destination"
+    batched.check_invariants()
+
+
+def test_batched_relocation_of_active_block():
+    (batched, rec_b), (reference, rec_r) = _prepare_pair(seed=3)
+    active = batched._active_block
+    assert reference._active_block == active
+    if batched.valid_count[active] == 0:
+        batched.write(0, now=1.5)
+        reference.write(0, now=1.5)
+        rec_b.events.clear()
+        rec_r.events.clear()
+        active = batched._active_block
+    batched.relocate_block(int(active), now=2.0)
+    _relocate_per_page(reference, int(active), now=2.0)
+    _assert_same_state(batched, reference)
+    assert rec_b.events == rec_r.events

@@ -1,0 +1,193 @@
+"""Determinism suite for the sharded sweep runner.
+
+The contract under test: for the same scenario list, the merged report
+is bit-identical for ``workers=1`` (serial in-process reference),
+``workers=N`` (multi-process), and any shuffle of the scenario order —
+and a failing scenario surfaces its scenario id, not a bare worker
+traceback.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.controller.factory import run_scenario
+from repro.parallel import ScenarioFailure, SweepRunner, run_sweep
+from repro.parallel.results import ScenarioResult, SweepReport
+from repro.workloads.grid import BackendSpec, GeometrySpec, PolicySpec, ScenarioGrid
+from repro.workloads.suites import WORKLOAD_SUITE
+
+SMALL_GEOMETRY = GeometrySpec(blocks=64, pages_per_block=64)
+PHYSICS_GEOMETRY = GeometrySpec(blocks=16, pages_per_block=32, overprovision=0.2)
+
+
+def counter_grid(seeds=2, **kwargs):
+    return ScenarioGrid(
+        workloads=(WORKLOAD_SUITE["web_0"], WORKLOAD_SUITE["prxy_0"]),
+        geometries=(SMALL_GEOMETRY,),
+        seeds=seeds,
+        duration_days=0.03,
+        **kwargs,
+    )
+
+
+def physics_grid():
+    return ScenarioGrid(
+        workloads=(WORKLOAD_SUITE["webmail"],),
+        geometries=(PHYSICS_GEOMETRY,),
+        policies=(PolicySpec(name="reclaim", read_reclaim_threshold=5_000),),
+        backends=(
+            BackendSpec(
+                kind="flash_chip", bitlines_per_block=256, initial_pe_cycles=8000
+            ),
+        ),
+        seeds=2,
+        duration_days=0.03,
+        record_trajectory=True,
+    )
+
+
+def test_counter_sweep_workers_equivalence():
+    grid = counter_grid()
+    serial = SweepRunner(workers=1).run(grid)
+    parallel = SweepRunner(workers=4).run(grid)
+    assert serial.results == parallel.results
+    assert len(serial) == len(grid)
+
+
+def test_counter_sweep_shuffled_order_equivalence():
+    grid = counter_grid()
+    scenarios = grid.scenarios()
+    shuffled = scenarios.copy()
+    random.Random(13).shuffle(shuffled)
+    assert shuffled != scenarios
+    assert SweepRunner(workers=1).run(scenarios).results == (
+        SweepRunner(workers=2).run(shuffled).results
+    )
+
+
+def test_physics_sweep_workers_equivalence():
+    """Flash-chip scenarios (Monte-Carlo cells, ECC, RDR, trajectory)
+    are bit-identical across worker counts: every RNG stream is derived
+    from the scenario, never from the process running it."""
+    grid = physics_grid()
+    serial = SweepRunner(workers=1).run(grid)
+    parallel = SweepRunner(workers=2).run(grid)
+    assert serial.results == parallel.results
+    result = serial.results[0]
+    assert result.backend["backend"] == "flash_chip"
+    assert result.trajectory, "record_trajectory should produce windows"
+    assert "worst_block_rber" in result.trajectory[-1]
+
+
+def test_seed_replicas_differ():
+    """The seed axis produces genuinely different runs (not clones)."""
+    report = SweepRunner(workers=1).run(counter_grid(seeds=2))
+    by_seed = {}
+    for result in report:
+        workload, *_, seed = result.scenario_id.split("/")
+        by_seed.setdefault(workload, []).append(result.stats["host_reads"])
+    for workload, reads in by_seed.items():
+        assert reads[0] != reads[1], f"{workload} replicas should differ"
+
+
+def test_result_records_are_picklable_and_plain():
+    result = run_scenario(counter_grid(seeds=1).scenarios()[0])
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+    as_dict = result.as_dict()
+    assert as_dict["scenario_id"] == result.scenario_id
+    assert isinstance(as_dict["per_block"]["pe_cycles"], list)
+
+
+def test_failure_surfaces_scenario_id_serial_and_parallel():
+    # 32x32 at 7% overprovision fails SsdConfig validation inside the run.
+    bad = ScenarioGrid(
+        workloads=(WORKLOAD_SUITE["web_0"],),
+        geometries=(GeometrySpec(blocks=32, pages_per_block=32), SMALL_GEOMETRY),
+        duration_days=0.01,
+    )
+    expected_id = "web_0/d0.01/32x32/baseline/counter/s0"
+    for workers in (1, 2):
+        with pytest.raises(ScenarioFailure) as excinfo:
+            SweepRunner(workers=workers).run(bad)
+        assert excinfo.value.scenario_id == expected_id
+        assert expected_id in str(excinfo.value)
+
+
+def test_scenario_failure_pickles_across_process_boundary():
+    failure = ScenarioFailure("grid/cell/s0", "ValueError: boom")
+    clone = pickle.loads(pickle.dumps(failure))
+    assert clone.scenario_id == "grid/cell/s0"
+    assert "boom" in str(clone)
+
+
+def test_duplicate_scenario_ids_rejected():
+    scenario = counter_grid(seeds=1).scenarios()[0]
+    with pytest.raises(ValueError, match="unique"):
+        SweepRunner(workers=1).run([scenario, scenario])
+
+
+def test_report_lookup_and_json():
+    report = run_sweep(counter_grid(seeds=1), workers=1)
+    first = report.results[0]
+    assert report[first.scenario_id] == first
+    with pytest.raises(KeyError):
+        report["missing"]
+    payload = report.to_json()
+    assert first.scenario_id in payload
+    assert report.scenario_ids == sorted(report.scenario_ids)
+
+
+def test_report_requires_sorted_unique_ids():
+    a = ScenarioResult(scenario_id="b", stats={}, backend={})
+    b = ScenarioResult(scenario_id="a", stats={}, backend={})
+    with pytest.raises(ValueError):
+        SweepReport(results=(a, b), workers=1)
+    with pytest.raises(ValueError):
+        SweepReport(results=(a, a), workers=1)
+
+
+# ----------------------------------------------------------------------
+# The generic map substrate (used by the migrated ablation benches)
+# ----------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def test_map_preserves_item_order_across_workers():
+    items = list(range(20))
+    assert SweepRunner(workers=1).map(_square, items) == [x * x for x in items]
+    assert SweepRunner(workers=3).map(_square, items) == [x * x for x in items]
+
+
+def test_map_failure_carries_label():
+    # Serial: deterministically the first failing item by input order.
+    with pytest.raises(ScenarioFailure) as excinfo:
+        SweepRunner(workers=1).map(_explode, [1, 2], labels=["one", "two"])
+    assert excinfo.value.scenario_id == "one"
+    # Parallel: the first *observed* failure stops the pool early; with
+    # several failing items, which one reports depends on scheduling.
+    with pytest.raises(ScenarioFailure) as excinfo:
+        SweepRunner(workers=2).map(_explode, [1, 2], labels=["one", "two"])
+    assert excinfo.value.scenario_id in ("one", "two")
+
+
+def test_map_rejects_mismatched_labels():
+    with pytest.raises(ValueError):
+        SweepRunner(workers=1).map(_square, [1, 2], labels=["only-one"])
+
+
+def test_runner_validation():
+    with pytest.raises(ValueError):
+        SweepRunner(workers=0)
+    with pytest.raises(ValueError):
+        SweepRunner(chunksize=0)
+    assert SweepRunner(workers=None).workers >= 1

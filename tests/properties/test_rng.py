@@ -42,3 +42,21 @@ def test_factory_children_independent():
 def test_empty_name_rejected():
     with pytest.raises(ValueError):
         stream("", 0)
+
+
+def test_spawn_keys_are_order_and_process_free():
+    """Spawn keys depend only on (seed, labels): the worker-safe property
+    the sweep runner's determinism rests on."""
+    from repro.rng import spawn_key
+
+    direct = spawn_key(11, "scenario/a", "workload")
+    assert direct == spawn_key(11, "scenario/a", "workload")
+    assert direct == RngFactory(11).spawn("scenario/a", "workload").seed
+    assert direct != spawn_key(11, "scenario/b", "workload")
+    assert direct != spawn_key(11, "scenario/a", "backend")
+    assert direct != spawn_key(12, "scenario/a", "workload")
+    # Label order matters (paths, not sets).
+    assert spawn_key(0, "a", "b") != spawn_key(0, "b", "a")
+    a = RngFactory(11).spawn("s0").stream("cells").random(4)
+    b = RngFactory(11).spawn("s1").stream("cells").random(4)
+    assert not np.array_equal(a, b)
