@@ -1,0 +1,137 @@
+"""Intra-scenario parallelism: block-group executor wall clocks.
+
+The sweep runner shards at scenario granularity; this bench measures the
+*next* parallelism level — one long flash-chip scenario whose per-flush
+block groups run on the threaded block-group executor
+(:mod:`repro.controller.executor`).  It runs the identical scenario at
+``executor="serial"`` and ``executor="threaded:N"``, asserts every run
+is bit-identical (same engine stats, same backend summary — the
+executor contract), and records the wall-clock trajectory into
+``BENCH_physics.json``.
+
+The >=1.5x speedup assertion at four threads only fires on a machine
+with >= 4 CPUs (and not under ``BENCH_SMOKE``): the per-block numpy
+kernels release the GIL, so threads need real cores to overlap.  A
+1-CPU box still exercises the whole plan/execute/merge pipeline and the
+bit-identity assertions, and the recorded payload carries ``cpu_count``
+so trajectory numbers are read in context.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.controller import FlashChipBackend, SimulationEngine, SsdConfig
+from repro.units import days
+from repro.workloads import IoTrace, OP_READ, OP_WRITE
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+CPUS = os.cpu_count() or 1
+
+N_OPS = 4_000 if SMOKE else 120_000
+FOOTPRINT = 400 if SMOKE else 2_000
+BITLINES = 256 if SMOKE else 4_096
+CONFIG = SsdConfig(blocks=16, pages_per_block=32, overprovision=0.2)
+EXECUTORS = ("serial", "threaded:2") if SMOKE else (
+    "serial", "threaded:2", "threaded:4",
+)
+
+
+def _traces():
+    rng = np.random.default_rng(23)
+    precondition = IoTrace(
+        np.zeros(FOOTPRINT),
+        np.full(FOOTPRINT, OP_WRITE, dtype=np.int64),
+        rng.permutation(FOOTPRINT).astype(np.int64),
+        "precondition",
+    )
+    trace = IoTrace(
+        np.sort(rng.uniform(days(0.1), days(6.0), N_OPS)),
+        np.where(rng.random(N_OPS) < 0.99, OP_READ, OP_WRITE).astype(np.int64),
+        rng.integers(0, FOOTPRINT, N_OPS).astype(np.int64),
+        "hot-read",
+    )
+    return precondition, trace
+
+
+def _run(executor):
+    backend = FlashChipBackend(
+        bitlines_per_block=BITLINES, initial_pe_cycles=8000, seed=3,
+        executor=executor,
+    )
+    engine = SimulationEngine(
+        CONFIG, read_reclaim_threshold=50_000, backend=backend
+    )
+    precondition, trace = _traces()
+    engine.run_trace(precondition)
+    start = time.perf_counter()
+    stats = engine.run_trace(trace)
+    elapsed = time.perf_counter() - start
+    return elapsed, stats, backend.summary()
+
+
+def _sweep():
+    rows = []
+    timings = {}
+    reference = None
+    for executor in EXECUTORS:
+        elapsed, stats, summary = _run(executor)
+        timings[executor] = elapsed
+        if reference is None:
+            reference = (stats, summary)
+        else:
+            assert (stats, summary) == reference, (
+                f"executor={executor} diverged from the serial reference"
+            )
+        rows.append(
+            [
+                executor,
+                f"{N_OPS:,}",
+                f"{elapsed:.2f}",
+                f"{N_OPS / elapsed:,.0f}",
+                f"{timings['serial'] / elapsed:.2f}x",
+            ]
+        )
+    payload = {
+        "smoke": SMOKE,
+        "cpu_count": CPUS,
+        "trace_ops": N_OPS,
+        "bitlines_per_block": BITLINES,
+        "seconds_serial": round(timings["serial"], 3),
+        "serial_ops_per_sec": round(N_OPS / timings["serial"], 1),
+        **{
+            f"seconds_threaded_{executor.split(':')[1]}": round(elapsed, 3)
+            for executor, elapsed in timings.items()
+            if executor != "serial"
+        },
+        **{
+            f"speedup_threaded_{executor.split(':')[1]}": round(
+                timings["serial"] / elapsed, 2
+            )
+            for executor, elapsed in timings.items()
+            if executor != "serial"
+        },
+    }
+    return rows, timings, payload
+
+
+def bench_intra_scenario(benchmark, emit, emit_json):
+    rows, timings, payload = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["executor", "trace ops", "seconds", "ops/sec", "speedup"],
+        rows,
+        title=(
+            f"Intra-scenario block-group executor (flash-chip, "
+            f"{BITLINES} bitlines, {CPUS} CPUs{', SMOKE' if SMOKE else ''})"
+        ),
+    )
+    emit("intra_scenario", table)
+    emit_json("intra_scenario", payload)
+    if not SMOKE and CPUS >= 4 and "threaded:4" in timings:
+        speedup = timings["serial"] / timings["threaded:4"]
+        assert speedup >= 1.5, (
+            f"threaded:4 intra-scenario speedup regressed to {speedup:.2f}x "
+            f"on {CPUS} CPUs"
+        )

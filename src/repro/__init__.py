@@ -45,6 +45,8 @@ from repro.controller import (
     CounterBackend,
     FlashChipBackend,
     PhysicsBackend,
+    SerialExecutor,
+    ThreadedExecutor,
     build_engine,
     run_scenario,
 )
@@ -100,6 +102,8 @@ __all__ = [
     "CounterBackend",
     "FlashChipBackend",
     "PhysicsBackend",
+    "SerialExecutor",
+    "ThreadedExecutor",
     "build_engine",
     "run_scenario",
     "BackendSpec",

@@ -21,11 +21,23 @@ def sweep_conducting_counts(
     thresholds: np.ndarray,
     now: float = 0.0,
     record_disturb: bool = True,
+    batched: bool = True,
 ) -> np.ndarray:
     """For each cell, count how many sweep thresholds it conducts at.
 
     A cell with voltage V conducts at every threshold >= V, so the count
     directly encodes its quantized voltage.
+
+    A *recording* sweep shifts the block a little per retry read — but
+    every read of the sweep targets the measured wordline itself, whose
+    own exposure (``total - targeted``) is invariant under its own
+    reads.  So with ``batched=True`` (the default) the steps all sense
+    from one materialization (:meth:`FlashBlock.threshold_sweep_counts`)
+    and the sweep's disturb is charged in one
+    :meth:`FlashBlock.record_retry_sweep` update whose accumulation
+    replays the per-step loop bit-for-bit; ``batched=False`` keeps the
+    historical ordered per-step loop as the executable reference the
+    equivalence suite compares against.
     """
     thresholds = np.asarray(thresholds, dtype=np.float64)
     if thresholds.size == 0:
@@ -34,8 +46,11 @@ def sweep_conducting_counts(
         # Non-disturbing sweep: the wordline's voltages are frozen for the
         # whole sweep, so all steps share one materialization.
         return block.threshold_sweep_counts(wordline, thresholds, now)
-    # Disturbing sweep: every retry read shifts the block a little, so the
-    # steps must be sensed in order, each at its own exposure.
+    if batched:
+        counts = block.threshold_sweep_counts(wordline, thresholds, now)
+        block.record_retry_sweep(wordline, thresholds.size)
+        return counts
+    # Reference path: sense the steps in order, each at its own exposure.
     counts = np.zeros(block.geometry.bitlines_per_block, dtype=np.int64)
     for threshold in thresholds:
         conducting = block.threshold_read(
@@ -53,19 +68,24 @@ def quantized_voltages(
     step: float = 4.0,
     now: float = 0.0,
     record_disturb: bool = True,
+    batched: bool = True,
 ) -> np.ndarray:
     """Per-cell threshold voltage measured by a read-retry sweep.
 
     The result is quantized to *step* (the retry resolution): a cell whose
     first conducting threshold is t is reported at t - step/2.  Cells that
-    never conduct are reported at ``hi + step/2``.
+    never conduct are reported at ``hi + step/2``.  *batched* selects the
+    one-materialization recording-sweep path (see
+    :func:`sweep_conducting_counts`).
     """
     if step <= 0:
         raise ValueError("sweep step must be positive")
     if hi <= lo:
         raise ValueError("sweep range must be non-empty")
     thresholds = np.arange(lo, hi + step, step)
-    counts = sweep_conducting_counts(block, wordline, thresholds, now, record_disturb)
+    counts = sweep_conducting_counts(
+        block, wordline, thresholds, now, record_disturb, batched
+    )
     first_conducting_index = thresholds.size - counts
     return lo + step * first_conducting_index - step / 2.0
 

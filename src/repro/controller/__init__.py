@@ -26,6 +26,12 @@ from repro.controller.backends import (
     CounterBackend,
     FlashChipBackend,
 )
+from repro.controller.executor import (
+    BlockGroupExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
 from repro.controller.engine import SimulationEngine, SsdRunStats
 from repro.controller.factory import build_backend, build_engine, run_scenario
 from repro.controller.ssd import SsdSimulator
@@ -42,6 +48,10 @@ __all__ = [
     "PhysicsBackend",
     "CounterBackend",
     "FlashChipBackend",
+    "BlockGroupExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "resolve_executor",
     "SimulationEngine",
     "SsdSimulator",
     "SsdRunStats",

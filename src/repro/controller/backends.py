@@ -23,6 +23,8 @@ mapped host reads.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -31,8 +33,10 @@ from repro.rng import RngFactory
 from repro.units import VPASS_NOMINAL
 from repro.core.rdr import RdrConfig, ReadDisturbRecovery
 from repro.ecc import DEFAULT_ECC, EccConfig, EccDecoder
+from repro.ecc.decoder import BatchDecodeResult
 from repro.flash.block import FlashBlock
 from repro.flash.geometry import FlashGeometry
+from repro.controller.executor import BlockGroupExecutor, resolve_executor
 from repro.controller.ftl import PageMappingFtl
 
 
@@ -91,6 +95,42 @@ class CounterBackend:
         return {"backend": self.name}
 
 
+@dataclass(frozen=True)
+class BlockReadTask:
+    """One block's share of a flushed read batch (the planning output).
+
+    The task is *pure per block*: executing it touches only
+    :attr:`flash_block` — its exposure counters, its voltage cache —
+    plus read-only configuration (decoder, Vpass).  That purity is what
+    lets the block-group executor run tasks of one flush concurrently
+    and still merge bit-identically (see
+    :mod:`repro.controller.executor`).
+    """
+
+    block_id: int
+    flash_block: FlashBlock
+    #: wordlines targeted within the block (parallel to :attr:`counts`).
+    wordlines: np.ndarray
+    #: reads per targeted wordline in this flush.
+    counts: np.ndarray
+    #: unique pages of the batch in this block, ascending.
+    pages: np.ndarray
+
+
+@dataclass(frozen=True)
+class BlockReadOutcome:
+    """What one executed :class:`BlockReadTask` reports back to the merge.
+
+    *checked* is the ascending list of programmed pages the task decoded
+    (the decode order the scalar loop used); *decode* is ``None`` when
+    the block held no programmed page of the batch.
+    """
+
+    block_id: int
+    checked: np.ndarray
+    decode: BatchDecodeResult | None
+
+
 class FlashChipBackend:
     """Bind every FTL block to a Monte-Carlo flash block.
 
@@ -100,24 +140,29 @@ class FlashChipBackend:
     paper's characterization workload and all ECC needs — the decoder
     compares the sensed page against what was programmed.
 
-    Read handling per flushed batch:
+    Read handling per flushed batch runs as a plan/execute/merge
+    pipeline:
 
-    1. group the batch per block in one pass over the sorted unique
-       physical pages, then charge Vpass-weighted disturb exposure per
-       (block, wordline) in one :meth:`FlashBlock.record_reads` call per
-       block;
-    2. ECC-decode each *unique* page of the batch once, at the batch's
+    1. **plan** — group the batch per block in one pass over the sorted
+       unique physical pages (materializing lazily-bound blocks while
+       still serial);
+    2. **execute** — one pure :class:`BlockReadTask` per touched block
+       on the configured block-group executor
+       (:mod:`repro.controller.executor`): charge Vpass-weighted disturb
+       exposure in one :meth:`FlashBlock.record_reads` call, then
+       ECC-decode each *unique* page of the batch once, at the batch's
        final exposure (repeated reads of a page within one flush return
        the same sensed data, so one decode per page per flush is the
        exact per-op semantics at a fraction of the cost) — one
        :meth:`EccDecoder.check_pages` call per block, sensing every page
        against a single materialization of the block's voltages;
-    3. on an uncorrectable page, run Read Disturb Recovery on the
-       wordline; if the post-RDR error count fits the ECC capability the
-       data is recovered, otherwise it is lost.  Either way the block is
-       queued for relocation so the engine rewrites it to a fresh block,
-       and later pages of the same flush on that block are skipped (their
-       data is already being remapped).
+    3. **merge** — fold the outcomes into the shared counters in
+       ascending block order; on an uncorrectable page, run Read Disturb
+       Recovery on the wordline; if the post-RDR error count fits the
+       ECC capability the data is recovered, otherwise it is lost.
+       Either way the block is queued for relocation so the engine
+       rewrites it to a fresh block, and later pages of the same flush
+       on that block are skipped (their data is already being remapped).
     """
 
     name = "flash_chip"
@@ -131,6 +176,7 @@ class FlashChipBackend:
         rdr: RdrConfig | None = None,
         enable_rdr: bool = True,
         seed: int = 0,
+        executor: str | BlockGroupExecutor = "serial",
     ):
         if bitlines_per_block < 1:
             raise ValueError("need at least one bitline per block")
@@ -147,6 +193,9 @@ class FlashChipBackend:
         )
         self.rdr = ReadDisturbRecovery(rdr) if enable_rdr else None
         self.seed = int(seed)
+        #: block-group executor running each flush's per-block tasks;
+        #: "serial" and "threaded[:N]" are bit-identical by construction.
+        self.executor: BlockGroupExecutor = resolve_executor(executor)
         # Filled in bind().
         self.ftl: PageMappingFtl | None = None
         self.geometry: FlashGeometry | None = None
@@ -205,21 +254,29 @@ class FlashChipBackend:
     def on_reads(self, ppns: np.ndarray, now: float) -> None:
         """Apply one flushed batch of mapped host reads to the chip.
 
-        One grouping pass over the sorted unique pages of the batch,
-        then per touched block: one
-        :meth:`~repro.flash.block.FlashBlock.record_reads` (bulk disturb
-        charge) and one :meth:`~repro.ecc.decoder.EccDecoder.check_pages`
-        (every unique programmed page decoded once, at the batch's final
-        exposure, against a single voltage materialization).
+        A plan/execute/merge pipeline: one grouping pass over the sorted
+        unique pages of the batch (:meth:`_plan_reads`), then one pure
+        per-block task per touched block on the block-group executor
+        (:meth:`_sense_and_decode` — one
+        :meth:`~repro.flash.block.FlashBlock.record_reads` bulk disturb
+        charge and one :meth:`~repro.ecc.decoder.EccDecoder.check_pages`
+        sensing every unique programmed page against a single voltage
+        materialization), and finally a deterministic merge in ascending
+        block order (:meth:`_merge_outcomes` — shared counters and RDR
+        escalation).
 
         **Bit-identity.**  Decode granularity is *per flush*: repeated
         reads of a page within one flush sense identical data, so one
         decode per unique page reproduces the per-op loop's outcomes
         exactly on that flush boundary; within a block, pages decode in
-        ascending order and decoding stops at the first uncorrectable
-        page — the scalar escalation bookkeeping — before RDR runs and
-        the block is queued for relocation (golden summaries in
-        ``tests/controller/test_backend_vectorized.py`` pin all of it).
+        ascending order and the merge stops counting at the first
+        uncorrectable page — the scalar escalation bookkeeping — before
+        RDR runs and the block is queued for relocation (golden
+        summaries in ``tests/controller/test_backend_vectorized.py`` pin
+        all of it).  Tasks touch only their own block and the merge
+        order is fixed, so ``executor="threaded"`` produces the same
+        bits as ``executor="serial"``
+        (``tests/controller/test_block_executor.py``).
 
         **Cache precondition.**  Assumes *ppns* were resolved against
         the mapping current at flush time (the engine flushes before any
@@ -228,6 +285,19 @@ class FlashChipBackend:
         """
         if ppns.size == 0:
             return
+        tasks = self._plan_reads(ppns)
+        execute = partial(self._sense_and_decode, now=now)
+        outcomes = self.executor.map(execute, tasks)
+        self._merge_outcomes(outcomes, now)
+
+    def _plan_reads(self, ppns: np.ndarray) -> list[BlockReadTask]:
+        """Grouping/planning pass: one :class:`BlockReadTask` per block.
+
+        Runs serially so lazy block materialization (a dict insert plus
+        RNG-stream construction) never races the executor's workers;
+        the tasks come back in ascending block order, which is the order
+        the merge folds them in.
+        """
         pages_per_block = self.ftl.config.pages_per_block
         unique_ppns, counts = np.unique(ppns, return_counts=True)
         blocks = unique_ppns // pages_per_block
@@ -237,34 +307,76 @@ class FlashChipBackend:
         # yields the per-block groups for both recording and decoding.
         group_starts = np.flatnonzero(np.r_[True, blocks[1:] != blocks[:-1]])
         group_ends = np.r_[group_starts[1:], blocks.size]
-        rescued_wordlines: set[tuple[int, int]] = set()
+        tasks = []
         for start, end in zip(group_starts, group_ends):
             start, end = int(start), int(end)
             block = int(blocks[start])
-            fb = self.block(block)
-            # Reads of both pages of a wordline are one sensing pass each
-            # but identical disturb, so the wordline counts just add up.
-            fb.record_reads(wordlines[start:end], counts[start:end], self.vpass)
-            # ECC-decode each unique programmed page once, at post-batch
-            # exposure.  Page order within the group is ascending — the
-            # order the scalar loop decoded in — so stopping at the first
-            # failure reproduces its escalation bookkeeping exactly.
-            in_block = pages[start:end][fb.programmed[wordlines[start:end]]]
-            if in_block.size == 0:
+            tasks.append(
+                BlockReadTask(
+                    block_id=block,
+                    flash_block=self.block(block),
+                    wordlines=wordlines[start:end],
+                    counts=counts[start:end],
+                    pages=pages[start:end],
+                )
+            )
+        return tasks
+
+    def _sense_and_decode(
+        self, task: BlockReadTask, now: float
+    ) -> BlockReadOutcome:
+        """Execute one block's task: bulk disturb charge, then decode.
+
+        Pure per block — mutates only ``task.flash_block`` (exposure
+        counters, voltage cache) and reads shared configuration, so any
+        number of tasks from one flush can run concurrently.
+        """
+        fb = task.flash_block
+        # Reads of both pages of a wordline are one sensing pass each
+        # but identical disturb, so the wordline counts just add up.
+        fb.record_reads(task.wordlines, task.counts, self.vpass)
+        # ECC-decode each unique programmed page once, at post-batch
+        # exposure.  Page order within the group is ascending — the
+        # order the scalar loop decoded in — so the merge's stop at the
+        # first failure reproduces its escalation bookkeeping exactly.
+        in_block = task.pages[fb.programmed[task.wordlines]]
+        if in_block.size == 0:
+            return BlockReadOutcome(task.block_id, in_block, None)
+        decode = self.decoder.check_pages(fb, in_block, now, self.vpass)
+        return BlockReadOutcome(task.block_id, in_block, decode)
+
+    def _merge_outcomes(
+        self, outcomes: list[BlockReadOutcome], now: float
+    ) -> None:
+        """Ordered merge: fold outcomes into shared state, escalate RDR.
+
+        Outcomes arrive in ascending block order (planning order, which
+        every executor preserves), so counter updates, RDR escalations,
+        and relocation queuing happen in exactly the sequence the serial
+        loop produced.  RDR mutates only the failing block — blocks the
+        executor already decoded are unaffected.
+        """
+        rescued_wordlines: set[tuple[int, int]] = set()
+        for outcome in outcomes:
+            if outcome.decode is None:
                 continue
-            result = self.decoder.check_pages(fb, in_block, now, self.vpass)
-            failures = np.flatnonzero(~result.success)
+            failures = np.flatnonzero(~outcome.decode.success)
             if failures.size == 0:
-                self.pages_checked += in_block.size
-                self.corrected_bits += int(result.raw_errors.sum())
+                self.pages_checked += outcome.checked.size
+                self.corrected_bits += int(outcome.decode.raw_errors.sum())
                 continue
             first = int(failures[0])
             self.pages_checked += first + 1
-            self.corrected_bits += int(result.raw_errors[:first].sum())
+            self.corrected_bits += int(outcome.decode.raw_errors[:first].sum())
             self.uncorrectable_pages += 1
             # The block is queued for relocation; pages after the failure
             # are skipped this flush, as their data is being remapped.
-            self._escalate(block, int(in_block[first]) // 2, now, rescued_wordlines)
+            self._escalate(
+                outcome.block_id,
+                int(outcome.checked[first]) // 2,
+                now,
+                rescued_wordlines,
+            )
 
     def drain_relocations(self) -> list[int]:
         pending, self._pending_relocations = self._pending_relocations, []

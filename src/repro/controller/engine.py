@@ -24,7 +24,11 @@ a window's reads vectorized at the window's end:
   held the data.  Physics granularity is per flush: disturb exposure is
   charged in bulk and each unique page is ECC-decoded once per flush at
   its final exposure, escalating uncorrectable pages through Read
-  Disturb Recovery and remapping the damaged block.
+  Disturb Recovery and remapping the damaged block.  Within one flush
+  the per-block sense+decode tasks are independent, and the flash-chip
+  backend runs them on a pluggable block-group executor
+  (:mod:`repro.controller.executor`): ``executor="threaded"`` spreads
+  one scenario's physics across cores, bit-identical to serial.
 
 See ``benchmarks/bench_engine_throughput.py`` for the throughput
 trajectory of both backends.

@@ -20,7 +20,7 @@ from repro.controller.engine import SimulationEngine
 from repro.controller.ftl import SsdConfig
 from repro.parallel.results import ScenarioResult
 from repro.workloads.grid import BackendSpec, Scenario
-from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace_cache import scenario_trace
 
 
 def build_backend(spec: BackendSpec, seed: int) -> PhysicsBackend:
@@ -33,6 +33,7 @@ def build_backend(spec: BackendSpec, seed: int) -> PhysicsBackend:
         vpass=spec.vpass,
         enable_rdr=spec.enable_rdr,
         seed=seed,
+        executor=spec.executor,
     )
 
 
@@ -97,10 +98,12 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     This is the pure function the sweep runner fans out: trace
     generation, engine construction, and every RNG stream derive from
     the scenario alone, so the result is bit-identical wherever it runs.
+    The trace comes through the per-process cache
+    (:mod:`repro.workloads.trace_cache`): repeated runs of one scenario
+    reuse a single frozen trace, and fork-start sweep workers inherit
+    pre-warmed traces copy-on-write instead of regenerating them.
     """
-    trace = SyntheticWorkload(
-        scenario.workload, seed=scenario.workload_seed
-    ).generate(scenario.duration_days)
+    trace = scenario_trace(scenario)
     engine = build_engine(scenario)
     trajectory: list[dict] | None = None
     on_window = None

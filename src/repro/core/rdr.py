@@ -66,6 +66,13 @@ class RdrConfig:
     #: sweep range (min, max) covering all states.
     sweep_lo: float = -40.0
     sweep_hi: float = 520.0
+    #: charge each recording retry sweep's disturb exposure in one
+    #: batched update and sense all steps from one materialization
+    #: (bit-identical to the per-step loop — every sweep read targets
+    #: the measured wordline, leaving its own exposure invariant; see
+    #: :meth:`repro.flash.block.FlashBlock.record_retry_sweep`).  False
+    #: keeps the historical per-step loop, the equivalence reference.
+    batched_sweeps: bool = True
 
     def __post_init__(self) -> None:
         if self.extra_reads <= 0:
@@ -136,7 +143,8 @@ class ReadDisturbRecovery:
 
         # Step 1: Vth sweep at failure time.
         vth_before = quantized_voltages(
-            block, wordline, cfg.sweep_lo, cfg.sweep_hi, cfg.retry_step, now
+            block, wordline, cfg.sweep_lo, cfg.sweep_hi, cfg.retry_step, now,
+            batched=cfg.batched_sweeps,
         )
         sensed_before = np.searchsorted(refs, vth_before, side="left").astype(np.int64)
 
@@ -145,7 +153,8 @@ class ReadDisturbRecovery:
         other = (wordline + 1) % block.geometry.wordlines_per_block
         block.apply_read_disturb(cfg.extra_reads, target_wordline=other)
         vth_after = quantized_voltages(
-            block, wordline, cfg.sweep_lo, cfg.sweep_hi, cfg.retry_step, now
+            block, wordline, cfg.sweep_lo, cfg.sweep_hi, cfg.retry_step, now,
+            batched=cfg.batched_sweeps,
         )
         delta_vth = vth_after - vth_before
 

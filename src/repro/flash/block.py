@@ -67,7 +67,7 @@ class FlashBlock:
     ):
         self.geometry = geometry
         self.block_id = block_id
-        self._rng = rng_factory.child(f"block-{block_id}").stream("cells")
+        self._rng = rng_factory.for_block(block_id).stream("cells")
         self.cells = CellArray(geometry, self._rng)
         self.disturb_model = DEFAULT_READ_DISTURB
 
@@ -238,6 +238,51 @@ class FlashBlock:
         np.add.at(self.reads_targeted, wordlines, counts)
         self._voltage_epoch += 1
 
+    def record_retry_sweep(
+        self,
+        wordline: int,
+        count: int,
+        vpass: float = VPASS_NOMINAL,
+    ) -> None:
+        """Charge the disturb of a whole *count*-step recording read-retry
+        sweep of *wordline* in one update.
+
+        A recording sweep (RDR's ΔVth measurement) historically looped
+        :meth:`threshold_read` per retry step, each step paying a fresh
+        materialization.  But every step of the sweep targets the *same*
+        wordline, and a read targeting wordline *w* adds the same weight
+        to both the block total and *w*'s targeted exposure — *w*'s own
+        exposure (``total - targeted[w]``) is invariant across the sweep.
+        So the sensing can collapse to one materialization
+        (:meth:`threshold_sweep_counts`) and the disturb bookkeeping to
+        this single batched update.
+
+        **Bit-identity.**  The exposure scalars accumulate by replaying
+        the per-step loop's float additions (one rounded add per step —
+        O(count) scalar adds, no materialization, no sensing), so the
+        block's end state is bit-for-bit the state the
+        :meth:`threshold_read` loop leaves behind; a closed-form
+        ``weight * count`` add could drift by an ulp once the exposure
+        carries fractional Vpass weights.  Equivalence suite:
+        ``tests/analysis/test_histograms.py`` and
+        ``tests/core/test_rdr.py``.
+        """
+        if count < 0:
+            raise ValueError("read count cannot be negative")
+        if count == 0:
+            return
+        weight = float(vpass_exposure_weight(vpass))
+        total = self._total_exposure
+        targeted = float(self._exposure_targeted[wordline])
+        for _ in range(count):
+            total += weight
+            targeted += weight
+        self._total_exposure = total
+        self._exposure_targeted[wordline] = targeted
+        self.total_reads += count
+        self.reads_targeted[wordline] += count
+        self._voltage_epoch += 1
+
     def apply_read_disturb(
         self,
         reads: int,
@@ -338,6 +383,15 @@ class FlashBlock:
         sensing call until the next voltage-affecting mutation, so it is
         marked read-only — writing to it raises instead of silently
         corrupting later reads.
+
+        **Thread confinement.**  A block (cache included) belongs to at
+        most one executor task at a time — the block-group executor's
+        task-purity contract (:mod:`repro.controller.executor`) — so no
+        locking is needed; materialization stays a per-block,
+        single-writer affair.  Defensively, the fresh materialization is
+        fully built (and frozen) in locals before the two cache fields
+        are published, cache array first, so a mid-publication observer
+        can only ever recompute, never sense a half-written buffer.
         """
         key = (float(now), self._voltage_epoch)
         if self._voltage_cache is None or self._voltage_cache_key != key:

@@ -52,6 +52,21 @@ def spawn_key(seed: int, *parts: str | int | float) -> int:
     return mixed
 
 
+def block_spawn_key(seed: int, block_id: int) -> int:
+    """Spawn key of one flash block's RNG streams inside a scenario.
+
+    ``block_spawn_key(seed, b)`` equals ``spawn_key(seed, f"block-{b}")``
+    — the address :class:`~repro.flash.block.FlashBlock` has always used
+    — stated as its own primitive because the block-group executor
+    (:mod:`repro.controller.executor`) leans on it: a block's streams
+    depend only on the root seed and the block id, never on the order
+    blocks are materialized, touched, or scheduled across executor
+    workers, so per-block physics tasks can run concurrently without any
+    RNG stream crossing between blocks.
+    """
+    return spawn_key(seed, f"block-{block_id}")
+
+
 class RngFactory:
     """Factory producing named, reproducible RNG streams from one root seed.
 
@@ -80,6 +95,16 @@ class RngFactory:
         independent of which worker process runs it.
         """
         return RngFactory(spawn_key(self.seed, *parts))
+
+    def for_block(self, block_id: int) -> "RngFactory":
+        """Sub-factory owning flash block *block_id*'s streams.
+
+        The factory-level form of :func:`block_spawn_key` (bit-identical
+        to the historical ``child(f"block-{block_id}")`` derivation):
+        each block's randomness has a stable per-block address, the
+        executor-safety property documented there.
+        """
+        return RngFactory(block_spawn_key(self.seed, block_id))
 
     def __repr__(self) -> str:
         return f"RngFactory(seed={self.seed})"

@@ -4,15 +4,27 @@ Builds a :class:`~repro.workloads.grid.ScenarioGrid` from the flags,
 fans it out with :class:`~repro.parallel.SweepRunner`, prints a summary
 table, and optionally writes the full merged report as JSON.
 
+The policy and flash-chip axes are *multi-valued*: pass several values
+to ``--reclaim`` / ``--refresh-days`` / ``--pe-cycles`` / ``--vpass``
+and the grid expands their cartesian product, so full ablation grids
+run from the shell exactly like they do from Python (``--reclaim 0``
+means "reclaim disabled" — the baseline row of the paper's ablations).
+
 Examples::
 
     # Two suite workloads, 3 seeds each, across 4 worker processes
     python -m repro.sweep --workloads web_0 prxy_0 --seeds 3 --workers 4
 
-    # Full-fidelity physics sweep with an RBER trajectory, saved to JSON
+    # A read-reclaim ablation grid: off / 50k / 100k thresholds
     python -m repro.sweep --workloads webmail --backend flash_chip \\
         --blocks 16 --pages-per-block 32 --overprovision 0.2 \\
-        --trajectory --json sweep.json
+        --reclaim 0 50000 100000
+
+    # Full-fidelity physics sweep with an RBER trajectory, saved to
+    # JSON, using the intra-scenario threaded block-group executor
+    python -m repro.sweep --workloads webmail --backend flash_chip \\
+        --blocks 16 --pages-per-block 32 --overprovision 0.2 \\
+        --executor threaded --trajectory --json sweep.json
 
     # What can I sweep?
     python -m repro.sweep --list-workloads
@@ -26,6 +38,7 @@ from pathlib import Path
 
 from repro.analysis.reporting import format_table
 from repro.parallel import SweepRunner
+from repro.units import VPASS_NOMINAL
 from repro.workloads.grid import BackendSpec, GeometrySpec, PolicySpec, ScenarioGrid
 from repro.workloads.suites import WORKLOAD_SUITE, suite_grid, workload_names
 
@@ -59,16 +72,40 @@ def build_parser() -> argparse.ArgumentParser:
     geometry.add_argument("--blocks", type=int, default=256)
     geometry.add_argument("--pages-per-block", type=int, default=256)
     geometry.add_argument("--overprovision", type=float, default=0.07)
-    policy = parser.add_argument_group("maintenance policy")
-    policy.add_argument("--refresh-days", type=float, default=7.0)
+    policy = parser.add_argument_group(
+        "maintenance policy (multi-valued flags expand the ablation grid)"
+    )
     policy.add_argument(
-        "--reclaim", type=int, default=None, metavar="READS",
-        help="read-reclaim threshold (reads/interval); omit to disable",
+        "--refresh-days", type=float, nargs="+", default=[7.0], metavar="DAYS",
+        help="remap-refresh interval(s); several values form a policy axis",
+    )
+    policy.add_argument(
+        "--reclaim", type=int, nargs="+", default=None, metavar="READS",
+        help="read-reclaim threshold(s) (reads/interval); 0 = disabled "
+        "(the ablation baseline), omit entirely to disable",
     )
     policy.add_argument("--maintenance-days", type=float, default=1.0)
-    physics = parser.add_argument_group("flash-chip backend")
+    physics = parser.add_argument_group(
+        "flash-chip backend (multi-valued flags expand the backend axis)"
+    )
     physics.add_argument("--bitlines", type=int, default=2048)
-    physics.add_argument("--pe-cycles", type=int, default=0, help="initial wear")
+    physics.add_argument(
+        "--pe-cycles", type=int, nargs="+", default=[0], metavar="CYCLES",
+        help="initial wear level(s); several values form a backend axis",
+    )
+    physics.add_argument(
+        "--vpass", type=float, nargs="+", default=[VPASS_NOMINAL], metavar="VOLTS",
+        help="pass-through voltage(s); several values form a backend axis",
+    )
+    physics.add_argument(
+        "--executor", choices=("serial", "threaded"), default="serial",
+        help="intra-scenario block-group executor for flash-chip reads "
+        "(bit-identical either way; threaded uses one thread per CPU)",
+    )
+    physics.add_argument(
+        "--executor-workers", type=int, default=None, metavar="N",
+        help="thread count for --executor threaded (default: one per CPU)",
+    )
     parser.add_argument(
         "--trajectory", action="store_true",
         help="record a per-maintenance-window trajectory (incl. worst-block "
@@ -85,8 +122,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_policies(args: argparse.Namespace) -> tuple[PolicySpec, ...]:
+    """Expand the policy flags into an axis: refresh x reclaim.
+
+    ``--reclaim 0`` is the "reclaim disabled" baseline cell, so one
+    command line sweeps the paper's off/threshold ablation; duplicate
+    cells (e.g. ``--reclaim 0 0``) fail the grid's distinct-label check.
+    """
+    reclaims = [None] if args.reclaim is None else [
+        None if threshold == 0 else threshold for threshold in args.reclaim
+    ]
+    return tuple(
+        PolicySpec(
+            name="reclaim" if threshold is not None else "baseline",
+            refresh_interval_days=refresh_days,
+            read_reclaim_threshold=threshold,
+            maintenance_period_days=args.maintenance_days,
+        )
+        for refresh_days in args.refresh_days
+        for threshold in reclaims
+    )
+
+
+def build_backends(args: argparse.Namespace) -> tuple[BackendSpec, ...]:
+    """Expand the backend flags into an axis: pe-cycles x vpass.
+
+    The counter backend ignores every flash-chip knob (its label could
+    not distinguish the cells), so it only accepts single-valued flags.
+    """
+    executor = args.executor
+    if args.executor_workers is not None:
+        if executor != "threaded":
+            raise SystemExit("--executor-workers needs --executor threaded")
+        executor = f"threaded:{args.executor_workers}"
+    if args.backend == "counter" and (len(args.pe_cycles), len(args.vpass)) != (1, 1):
+        raise SystemExit(
+            "the counter backend ignores --pe-cycles/--vpass; sweep them "
+            "with --backend flash_chip"
+        )
+    return tuple(
+        BackendSpec(
+            kind=args.backend,
+            bitlines_per_block=args.bitlines,
+            initial_pe_cycles=pe_cycles,
+            vpass=vpass,
+            executor=executor,
+        )
+        for pe_cycles in args.pe_cycles
+        for vpass in args.vpass
+    )
+
+
 def build_grid(args: argparse.Namespace) -> ScenarioGrid:
-    """Translate parsed flags into a scenario grid (via the suite adapter)."""
+    """Translate parsed flags into a scenario grid (via the suite adapter).
+
+    Multi-valued policy/backend flags expand into full grid axes, so
+    ablation grids (reclaim on/off x thresholds, wear levels, Vpass
+    relaxation) run from the shell like they do from Python.
+    """
     try:
         return suite_grid(
             args.workloads,
@@ -97,21 +190,8 @@ def build_grid(args: argparse.Namespace) -> ScenarioGrid:
                     overprovision=args.overprovision,
                 ),
             ),
-            policies=(
-                PolicySpec(
-                    name="reclaim" if args.reclaim is not None else "baseline",
-                    refresh_interval_days=args.refresh_days,
-                    read_reclaim_threshold=args.reclaim,
-                    maintenance_period_days=args.maintenance_days,
-                ),
-            ),
-            backends=(
-                BackendSpec(
-                    kind=args.backend,
-                    bitlines_per_block=args.bitlines,
-                    initial_pe_cycles=args.pe_cycles,
-                ),
-            ),
+            policies=build_policies(args),
+            backends=build_backends(args),
             seeds=args.seeds,
             duration_days=args.days,
             root_seed=args.root_seed,
@@ -120,6 +200,9 @@ def build_grid(args: argparse.Namespace) -> ScenarioGrid:
     except KeyError as exc:
         # suite_grid already names exactly the unknown workloads.
         raise SystemExit(exc.args[0]) from None
+    except ValueError as exc:
+        # e.g. duplicate axis labels from repeated flag values.
+        raise SystemExit(str(exc)) from None
 
 
 def summary_table(report) -> str:

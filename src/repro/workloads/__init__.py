@@ -19,6 +19,12 @@ from repro.workloads.grid import (
     ScenarioGrid,
 )
 from repro.workloads.suites import WORKLOAD_SUITE, workload_names, get_workload, suite_grid
+from repro.workloads.trace_cache import (
+    clear_trace_cache,
+    generated_trace,
+    scenario_trace,
+    warm_trace_cache,
+)
 
 __all__ = [
     "IoTrace",
@@ -36,4 +42,8 @@ __all__ = [
     "workload_names",
     "get_workload",
     "suite_grid",
+    "clear_trace_cache",
+    "generated_trace",
+    "scenario_trace",
+    "warm_trace_cache",
 ]

@@ -111,6 +111,15 @@ class BackendSpec:
     ``kind="flash_chip"`` binds every touched block to a Monte-Carlo
     :class:`~repro.flash.block.FlashBlock` (ECC + RDR in the loop).  The
     flash-chip knobs are ignored by the counter backend.
+
+    *executor* selects the flash-chip backend's intra-scenario
+    block-group executor (``"serial"``, ``"threaded"``, or
+    ``"threaded:N"``; see :mod:`repro.controller.executor`).  Like
+    :attr:`Scenario.batch` it is an *execution* knob, not a physics
+    knob: executors are bit-identical by contract, so the executor never
+    enters :attr:`label` — and therefore never perturbs scenario ids or
+    derived seeds.  Consequently two specs differing only in executor
+    are the *same* scenario and cannot share a grid axis.
     """
 
     kind: str = "counter"
@@ -118,6 +127,7 @@ class BackendSpec:
     initial_pe_cycles: int = 0
     vpass: float = VPASS_NOMINAL
     enable_rdr: bool = True
+    executor: str = "serial"
 
     _KINDS = ("counter", "flash_chip")
 
@@ -126,12 +136,26 @@ class BackendSpec:
             raise ValueError(
                 f"unknown backend kind {self.kind!r}; expected one of {self._KINDS}"
             )
+        # Validate the executor spec shape here, at grid construction,
+        # without importing the controller layer (which imports this
+        # package); repro.controller.executor.parse_executor_spec is the
+        # authoritative parser the engine factory resolves through.
+        kind, sep, count = self.executor.partition(":")
+        if kind not in ("serial", "threaded") or (
+            sep and (kind != "threaded" or not count.isdigit() or int(count) < 1)
+        ):
+            raise ValueError(
+                f"bad executor spec {self.executor!r}; expected 'serial', "
+                "'threaded', or 'threaded:N'"
+            )
 
     @property
     def label(self) -> str:
         """Stable axis label: kind, plus the flash-chip knobs when they
         differ from the defaults (the counter backend ignores them, so
-        they never enter a counter label)."""
+        they never enter a counter label).  :attr:`executor` is a
+        result-transparent execution knob and deliberately never enters
+        the label (or the seeds derived from it)."""
         if self.kind == "counter":
             return self.kind
         label = self.kind

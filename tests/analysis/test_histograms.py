@@ -6,9 +6,12 @@ import pytest
 from repro.analysis.histograms import (
     per_state_histograms,
     quantized_voltages,
+    sweep_conducting_counts,
     vth_histogram,
 )
+from repro.flash import FlashBlock
 from repro.flash.state import MlcState
+from repro.rng import RngFactory
 
 
 def test_quantized_voltages_close_to_truth(programmed_block):
@@ -45,9 +48,64 @@ def test_per_state_histograms_partition(programmed_block):
     assert peaks == sorted(peaks)
 
 
+def _clone_block(small_geometry, disturb=250_000, vpass_mix=False):
+    """Two identically prepared blocks (batched vs. reference runs)."""
+    blocks = []
+    for _ in range(2):
+        blk = FlashBlock(small_geometry, RngFactory(7))
+        blk.cycle_wear_to(8000)
+        blk.program_random()
+        blk.apply_read_disturb(disturb, target_wordline=1)
+        if vpass_mix:
+            # Fractional Vpass weights make the exposure scalars
+            # non-integer floats — the accumulation-rounding regime the
+            # batched update must replay exactly.
+            blk.apply_read_disturb(5_000, vpass=500.0, target_wordline=2)
+        blocks.append(blk)
+    return blocks
+
+
+@pytest.mark.parametrize("vpass_mix", [False, True], ids=["integer", "fractional"])
+def test_batched_recording_sweep_matches_per_step_loop(small_geometry, vpass_mix):
+    """The batched disturb-exposure update (one materialization + one
+    exposure charge) is bit-identical to the historical per-step retry
+    loop: same conducting counts *and* the same block end state."""
+    batched_blk, reference_blk = _clone_block(small_geometry, vpass_mix=vpass_mix)
+    thresholds = np.arange(-40.0, 522.0, 2.0)
+    batched = sweep_conducting_counts(batched_blk, 0, thresholds, batched=True)
+    reference = sweep_conducting_counts(reference_blk, 0, thresholds, batched=False)
+    assert np.array_equal(batched, reference)
+    assert batched_blk._total_exposure == reference_blk._total_exposure
+    assert np.array_equal(
+        batched_blk._exposure_targeted, reference_blk._exposure_targeted
+    )
+    assert batched_blk.total_reads == reference_blk.total_reads
+    assert np.array_equal(batched_blk.reads_targeted, reference_blk.reads_targeted)
+    # And the next measurement (which sees the sweep's disturb) agrees.
+    assert np.array_equal(
+        quantized_voltages(batched_blk, 2, record_disturb=False),
+        quantized_voltages(reference_blk, 2, record_disturb=False),
+    )
+
+
+def test_batched_sweep_charges_full_disturb(programmed_block):
+    blk = programmed_block
+    thresholds = np.arange(0.0, 100.0, 10.0)
+    before_total = blk.total_reads
+    before_exposure = blk.disturb_exposure(3)
+    sweep_conducting_counts(blk, 0, thresholds, batched=True)
+    assert blk.total_reads == before_total + thresholds.size
+    # The measured wordline's own exposure is invariant under its own
+    # reads; other wordlines absorb the sweep's disturb.
+    assert blk.disturb_exposure(0) == 0.0
+    assert blk.disturb_exposure(3) == before_exposure + thresholds.size
+
+
 def test_validation(programmed_block):
     with pytest.raises(ValueError):
         vth_histogram(np.array([]))
+    with pytest.raises(ValueError):
+        programmed_block.record_retry_sweep(0, -1)
     with pytest.raises(ValueError):
         quantized_voltages(programmed_block, 0, step=0.0)
     with pytest.raises(ValueError):

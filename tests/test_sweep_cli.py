@@ -1,0 +1,94 @@
+"""``python -m repro.sweep`` grid construction: multi-valued axes,
+executor plumbing, and a tiny end-to-end run."""
+
+import pytest
+
+from repro.sweep import build_grid, build_parser, main
+
+
+def _args(*argv):
+    return build_parser().parse_args(list(argv))
+
+
+def test_default_grid_is_single_cell():
+    grid = build_grid(_args())
+    assert len(grid) == 1
+    scenario = grid.scenarios()[0]
+    assert scenario.policy.name == "baseline"
+    assert scenario.backend.executor == "serial"
+
+
+def test_multi_valued_reclaim_builds_ablation_axis():
+    grid = build_grid(_args("--reclaim", "0", "50000", "100000"))
+    labels = [p.label for p in grid.policies]
+    assert labels == ["baseline", "reclaim-rc50000", "reclaim-rc100000"]
+    assert len(grid) == 3
+    thresholds = [p.read_reclaim_threshold for p in grid.policies]
+    assert thresholds == [None, 50000, 100000]
+
+
+def test_refresh_and_reclaim_axes_combine():
+    grid = build_grid(
+        _args("--refresh-days", "3", "7", "--reclaim", "0", "20000")
+    )
+    assert len(grid.policies) == 4
+    assert len(grid) == 4
+    assert len({p.label for p in grid.policies}) == 4
+
+
+def test_flash_chip_backend_axes_combine():
+    grid = build_grid(
+        _args(
+            "--backend", "flash_chip",
+            "--pe-cycles", "0", "8000",
+            "--vpass", "512", "500",
+        )
+    )
+    assert len(grid.backends) == 4
+    assert len({b.label for b in grid.backends}) == 4
+
+
+def test_counter_backend_rejects_physics_axes():
+    with pytest.raises(SystemExit, match="counter backend"):
+        build_grid(_args("--pe-cycles", "0", "8000"))
+
+
+def test_duplicate_axis_values_fail_cleanly():
+    with pytest.raises(SystemExit, match="distinct labels"):
+        build_grid(_args("--reclaim", "0", "0"))
+
+
+def test_executor_flags():
+    grid = build_grid(_args("--backend", "flash_chip", "--executor", "threaded"))
+    assert grid.backends[0].executor == "threaded"
+    grid = build_grid(
+        _args(
+            "--backend", "flash_chip",
+            "--executor", "threaded", "--executor-workers", "3",
+        )
+    )
+    assert grid.backends[0].executor == "threaded:3"
+    with pytest.raises(SystemExit, match="--executor threaded"):
+        build_grid(_args("--executor-workers", "3"))
+
+
+def test_cli_runs_a_multi_cell_ablation(capsys, tmp_path):
+    """End-to-end: a reclaim ablation grid through the runner and out as
+    JSON, with --serial-check asserting parallel ≡ serial."""
+    json_path = tmp_path / "sweep.json"
+    code = main(
+        [
+            "--workloads", "web_0",
+            "--days", "0.01",
+            "--blocks", "64", "--pages-per-block", "64",
+            "--reclaim", "0", "5000",
+            "--workers", "2",
+            "--serial-check",
+            "--json", str(json_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 scenarios" in out
+    assert "baseline" in out and "reclaim-rc5000" in out
+    assert json_path.exists()

@@ -29,6 +29,14 @@ DOCUMENTED_NAMES = [
     "flash.block.FlashBlock.threshold_sweep_counts",
     "flash.block.FlashBlock.block_voltages",
     "flash.block.FlashBlock.invalidate_voltage_cache",
+    "flash.block.FlashBlock.record_retry_sweep",
+    "controller.executor.BlockGroupExecutor",
+    "controller.executor.SerialExecutor",
+    "controller.executor.ThreadedExecutor",
+    "controller.executor.resolve_executor",
+    "rng.block_spawn_key",
+    "workloads.trace_cache.generated_trace",
+    "workloads.trace_cache.warm_trace_cache",
     "ecc.decoder.EccDecoder.decode_pages",
     "ecc.decoder.EccDecoder.check_pages",
     "controller.backends.FlashChipBackend.on_reads",
