@@ -1,0 +1,150 @@
+"""Process-executor parallelism: multi-core wall clocks for one scenario.
+
+The threaded block-group executor (``bench_intra_scenario``) is bounded
+by how much of the per-block kernel releases the GIL; the process
+executor (:class:`~repro.controller.executor.ProcessExecutor`) sidesteps
+the GIL entirely — blocks live in a shared-memory arena
+(:class:`~repro.flash.arena.BlockStore`) and forked workers run
+``_sense_and_decode`` / the deferred program tasks in place, so nothing
+but page ids and decode results crosses the process boundary.
+
+This bench runs the identical scenario at ``executor="serial"`` and
+``executor="process:N"``, asserts every run is bit-identical (engine
+stats + backend summary — the executor contract, pinned down to the
+bit by the equivalence suite in ``tests/controller/``), and records the
+wall-clock trajectory into ``BENCH_physics.json``.
+
+The >=1.5x speedup assertion at four processes only fires on a machine
+with >= 4 CPUs (and not under ``BENCH_SMOKE``): forked workers need
+real cores to overlap.  A 1-CPU box still exercises the full
+fork/arena/merge pipeline and the bit-identity assertions, and the
+recorded payload carries ``cpu_count`` so trajectory numbers are read
+in context (``tools/check_bench.py`` arms the floor only when the
+recorded ``cpu_count`` is >= 4; see ``tools/record_bench.sh``).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.controller import FlashChipBackend, SimulationEngine, SsdConfig
+from repro.units import days
+from repro.workloads import IoTrace, OP_READ, OP_WRITE
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+CPUS = os.cpu_count() or 1
+
+N_OPS = 4_000 if SMOKE else 120_000
+FOOTPRINT = 400 if SMOKE else 2_000
+BITLINES = 256 if SMOKE else 4_096
+CONFIG = SsdConfig(blocks=16, pages_per_block=32, overprovision=0.2)
+EXECUTORS = ("serial", "process:2") if SMOKE else (
+    "serial", "process:2", "process:4",
+)
+
+
+def _traces():
+    rng = np.random.default_rng(23)
+    precondition = IoTrace(
+        np.zeros(FOOTPRINT),
+        np.full(FOOTPRINT, OP_WRITE, dtype=np.int64),
+        rng.permutation(FOOTPRINT).astype(np.int64),
+        "precondition",
+    )
+    # 95% reads: enough writes to keep the deferred/parallel program
+    # path (and GC relocations) in the measured loop, read-dominated
+    # enough that sensing stays the bulk of the work, as in the paper's
+    # read-disturb workloads.
+    trace = IoTrace(
+        np.sort(rng.uniform(days(0.1), days(6.0), N_OPS)),
+        np.where(rng.random(N_OPS) < 0.95, OP_READ, OP_WRITE).astype(np.int64),
+        rng.integers(0, FOOTPRINT, N_OPS).astype(np.int64),
+        "hot-read",
+    )
+    return precondition, trace
+
+
+def _run(executor):
+    backend = FlashChipBackend(
+        bitlines_per_block=BITLINES, initial_pe_cycles=8000, seed=3,
+        executor=executor,
+    )
+    engine = SimulationEngine(
+        CONFIG, read_reclaim_threshold=50_000, backend=backend
+    )
+    precondition, trace = _traces()
+    engine.run_trace(precondition)
+    start = time.perf_counter()
+    stats = engine.run_trace(trace)
+    elapsed = time.perf_counter() - start
+    summary = backend.summary()
+    engine.close()
+    return elapsed, stats, summary
+
+
+def _sweep():
+    rows = []
+    timings = {}
+    reference = None
+    for executor in EXECUTORS:
+        elapsed, stats, summary = _run(executor)
+        timings[executor] = elapsed
+        if reference is None:
+            reference = (stats, summary)
+        else:
+            assert (stats, summary) == reference, (
+                f"executor={executor} diverged from the serial reference"
+            )
+        rows.append(
+            [
+                executor,
+                f"{N_OPS:,}",
+                f"{elapsed:.2f}",
+                f"{N_OPS / elapsed:,.0f}",
+                f"{timings['serial'] / elapsed:.2f}x",
+            ]
+        )
+    payload = {
+        "smoke": SMOKE,
+        "cpu_count": CPUS,
+        "trace_ops": N_OPS,
+        "bitlines_per_block": BITLINES,
+        "seconds_serial": round(timings["serial"], 3),
+        "serial_ops_per_sec": round(N_OPS / timings["serial"], 1),
+        **{
+            f"seconds_process_{executor.split(':')[1]}": round(elapsed, 3)
+            for executor, elapsed in timings.items()
+            if executor != "serial"
+        },
+        **{
+            f"speedup_process_{executor.split(':')[1]}": round(
+                timings["serial"] / elapsed, 2
+            )
+            for executor, elapsed in timings.items()
+            if executor != "serial"
+        },
+    }
+    return rows, timings, payload
+
+
+def bench_process_executor(benchmark, emit, emit_json):
+    rows, timings, payload = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["executor", "trace ops", "seconds", "ops/sec", "speedup"],
+        rows,
+        title=(
+            f"Process executor over the shared-memory block arena "
+            f"(flash-chip, {BITLINES} bitlines, {CPUS} CPUs"
+            f"{', SMOKE' if SMOKE else ''})"
+        ),
+    )
+    emit("process_executor", table)
+    emit_json("process_executor", payload)
+    if not SMOKE and CPUS >= 4 and "process:4" in timings:
+        speedup = timings["serial"] / timings["process:4"]
+        assert speedup >= 1.5, (
+            f"process:4 executor speedup regressed to {speedup:.2f}x "
+            f"on {CPUS} CPUs"
+        )

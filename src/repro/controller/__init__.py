@@ -28,6 +28,7 @@ from repro.controller.backends import (
 )
 from repro.controller.executor import (
     BlockGroupExecutor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     resolve_executor,
@@ -49,6 +50,7 @@ __all__ = [
     "CounterBackend",
     "FlashChipBackend",
     "BlockGroupExecutor",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
     "resolve_executor",

@@ -34,10 +34,73 @@ from repro.units import VPASS_NOMINAL
 from repro.core.rdr import RdrConfig, ReadDisturbRecovery
 from repro.ecc import DEFAULT_ECC, EccConfig, EccDecoder
 from repro.ecc.decoder import BatchDecodeResult
+from repro.flash.arena import ARENA_BACKINGS, BlockStore
 from repro.flash.block import FlashBlock
 from repro.flash.geometry import FlashGeometry
 from repro.controller.executor import BlockGroupExecutor, resolve_executor
 from repro.controller.ftl import PageMappingFtl
+
+
+# ----------------------------------------------------------------------
+# Process-executor worker plumbing
+# ----------------------------------------------------------------------
+#
+# A ProcessExecutor pool is created with the fork start method and an
+# initializer that stashes the owning backend here: under fork the
+# initargs are *inherited* (copy-on-write), not pickled, so the whole
+# backend — decoder tables, geometry, the shared-arena handle — rides
+# into every worker exactly once.  Per-task traffic is then only the
+# small picklable payloads the functions below unpack; the cell state
+# itself lives in the shared arena and is mutated in place.
+
+_WORKER_BACKEND: "FlashChipBackend | None" = None
+
+
+def _install_worker_backend(backend: "FlashChipBackend") -> None:
+    """Pool initializer: bind this worker process to its backend."""
+    global _WORKER_BACKEND
+    _WORKER_BACKEND = backend
+
+
+def _run_read_task(payload: tuple) -> "BlockReadOutcome":
+    """Execute one block's read task in a worker process.
+
+    The payload is ``(block_id, wordlines, counts, pages, now)`` — the
+    index arrays of a :class:`BlockReadTask`, without the live
+    ``FlashBlock`` (which is reattached worker-side over the shared
+    arena slab).  Reads consume no RNG, so no generator state needs to
+    travel; the returned :class:`BlockReadOutcome` is plain ndarrays.
+    """
+    block_id, wordlines, counts, pages, now = payload
+    backend = _WORKER_BACKEND
+    fb = backend._worker_block(block_id)
+    task = BlockReadTask(
+        block_id=block_id,
+        flash_block=fb,
+        wordlines=wordlines,
+        counts=counts,
+        pages=pages,
+    )
+    return backend._sense_and_decode(task, now=now)
+
+
+def _run_program_task(payload: tuple) -> tuple:
+    """Execute one block's deferred program queue in a worker process.
+
+    The payload is ``(block_id, programs, rng_state)`` where *programs*
+    is the queued ``(wordline, now, lsb, msb)`` list and *rng_state* is
+    the authoritative per-block generator state from the parent (the
+    worker's reattached block has only a placeholder RNG).  The final
+    generator state is returned so the parent can adopt it — keeping
+    the per-block stream bit-identical to serial execution.
+    """
+    block_id, programs, rng_state = payload
+    backend = _WORKER_BACKEND
+    fb = backend._worker_block(block_id)
+    fb._rng.bit_generator.state = rng_state
+    for wordline, now, lsb, msb in programs:
+        fb.program_wordline_bits(wordline, lsb, msb, now)
+    return block_id, fb._rng.bit_generator.state
 
 
 @runtime_checkable
@@ -49,6 +112,13 @@ class PhysicsBackend(Protocol):
 
     def on_append(self, block: int, page: int, lpn: int, now: float) -> None:
         """A logical page landed on physical ``(block, page)``."""
+
+    def on_append_many(
+        self, block: int, pages: np.ndarray, lpns: np.ndarray, now: float
+    ) -> None:
+        """A burst of logical pages landed on one block, in page order
+        (the relocation path).  Semantically identical to calling
+        :meth:`on_append` per page."""
 
     def on_erase(self, block: int, now: float) -> None:
         """A block was erased."""
@@ -77,6 +147,11 @@ class CounterBackend:
         self.ftl = ftl
 
     def on_append(self, block: int, page: int, lpn: int, now: float) -> None:
+        pass
+
+    def on_append_many(
+        self, block: int, pages: np.ndarray, lpns: np.ndarray, now: float
+    ) -> None:
         pass
 
     def on_erase(self, block: int, now: float) -> None:
@@ -163,6 +238,21 @@ class FlashChipBackend:
        Either way the block is queued for relocation so the engine
        rewrites it to a fresh block, and later pages of the same flush
        on that block are skipped (their data is already being remapped).
+
+    With ``arena="shm"`` or ``arena="mmap"`` every block's mutable
+    state lives in one :class:`~repro.flash.arena.BlockStore` slab
+    instead of per-block heap arrays — required (and defaulted to
+    ``"shm"``) for a multi-worker ``executor="process[:N]"``, whose
+    forked workers mutate the slabs in place, and the enabler of
+    out-of-core drives: ``arena="mmap"`` plus ``resident_blocks=N``
+    spills cold blocks' pages back to the backing file so a
+    ``blocks=4096`` geometry runs under a bounded resident set.
+    Parallel executors (``workers > 1``) also defer wordline programs
+    into per-block queues flushed in ascending block order at the next
+    observation point (read flush, erase, RBER probe, summary), which
+    keeps the write path parallel *and* bit-identical to serial — data
+    bits are drawn at append time, per-block RNG streams advance in
+    queue order.
     """
 
     name = "flash_chip"
@@ -177,6 +267,8 @@ class FlashChipBackend:
         enable_rdr: bool = True,
         seed: int = 0,
         executor: str | BlockGroupExecutor = "serial",
+        arena: str | None = None,
+        resident_blocks: int | None = None,
     ):
         if bitlines_per_block < 1:
             raise ValueError("need at least one bitline per block")
@@ -193,9 +285,44 @@ class FlashChipBackend:
         )
         self.rdr = ReadDisturbRecovery(rdr) if enable_rdr else None
         self.seed = int(seed)
+        # A caller handing us a live executor instance keeps ownership
+        # of it; executors we resolve from a spec are ours to close.
+        self._owns_executor = isinstance(executor, (str, type(None)))
         #: block-group executor running each flush's per-block tasks;
-        #: "serial" and "threaded[:N]" are bit-identical by construction.
+        #: "serial", "threaded[:N]" and "process[:N]" are bit-identical
+        #: by construction.
         self.executor: BlockGroupExecutor = resolve_executor(executor)
+        self._process_workers = (
+            getattr(self.executor, "name", "") == "process"
+            and self.executor.workers > 1
+        )
+        if arena is not None and arena not in ARENA_BACKINGS:
+            raise ValueError(
+                f"unknown arena backing {arena!r}; expected one of "
+                f"{ARENA_BACKINGS}"
+            )
+        if arena is None and self._process_workers:
+            # Worker processes need the cell state reachable in place.
+            arena = "shm"
+        if resident_blocks is not None:
+            if arena != "mmap":
+                raise ValueError(
+                    "resident_blocks needs arena='mmap' (only a file-backed "
+                    "arena can spill cold blocks)"
+                )
+            if resident_blocks < 1:
+                raise ValueError("resident_blocks must be at least 1")
+        #: arena backing for block state (None = per-block heap arrays).
+        self.arena = arena
+        self._resident_blocks = resident_blocks
+        self._store: BlockStore | None = None
+        # Deferred per-block program queue: only a parallel executor
+        # batches programs (the serial path keeps its exact immediate
+        # semantics); data bits are drawn at queue time so the global
+        # data stream stays in append order.
+        self._defer_programs = getattr(self.executor, "workers", 1) > 1
+        self._pending_programs: dict[int, list] = {}
+        self._pending_wordlines: set[tuple[int, int]] = set()
         # Filled in bind().
         self.ftl: PageMappingFtl | None = None
         self.geometry: FlashGeometry | None = None
@@ -228,24 +355,98 @@ class FlashChipBackend:
             wordlines_per_block=cfg.pages_per_block // 2,
             bitlines_per_block=self.bitlines_per_block,
         )
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        if self.arena is not None:
+            self._store = BlockStore(
+                self.geometry,
+                backing=self.arena,
+                resident_limit=self._resident_blocks,
+                on_evict=self._on_arena_evict,
+            )
 
     def on_append(self, block: int, page: int, lpn: int, now: float) -> None:
         fb = self.block(block)
         wordline = page // 2
         if fb.programmed[wordline]:
             return
+        if self._defer_programs and (block, wordline) in self._pending_wordlines:
+            return
         # First touch of the wordline: program both of its pages at once
         # (the LSB page is always appended first, and MLC wordlines are
-        # programmed as a unit).
+        # programmed as a unit).  Data bits are drawn *now* — whether the
+        # program executes immediately or is queued — so the global data
+        # stream is consumed in append order in both modes.
         bits = self.geometry.bitlines_per_block
         lsb = self._data_rng.integers(0, 2, bits, dtype=np.uint8)
         msb = self._data_rng.integers(0, 2, bits, dtype=np.uint8)
-        fb.program_wordline_bits(wordline, lsb, msb, now)
+        if self._defer_programs:
+            self._pending_wordlines.add((block, wordline))
+            self._pending_programs.setdefault(block, []).append(
+                (wordline, now, lsb, msb)
+            )
+        else:
+            fb.program_wordline_bits(wordline, lsb, msb, now)
+
+    def on_append_many(
+        self, block: int, pages: np.ndarray, lpns: np.ndarray, now: float
+    ) -> None:
+        for page, lpn in zip(pages, lpns):
+            self.on_append(block, int(page), int(lpn), now)
+
+    def flush_programs(self) -> None:
+        """Execute every queued wordline program, grouped per block.
+
+        Programs are queued only by a parallel executor (see
+        ``__init__``); this flush runs at every point that observes
+        programmed state — a read flush, an erase, an RBER probe, a
+        summary — so deferral is invisible.  Each block's queue runs in
+        append order with the data bits and timestamps fixed at queue
+        time, and blocks flush in ascending id order, so the per-block
+        RNG streams advance exactly as the serial immediate path would
+        have advanced them.
+        """
+        if not self._pending_programs:
+            return
+        pending = self._pending_programs
+        self._pending_programs = {}
+        self._pending_wordlines = set()
+        tasks = [(block, pending[block]) for block in sorted(pending)]
+        if self._use_process_pool(len(tasks)):
+            # Ship each block's RNG state out and adopt the final state
+            # back: the workers' arena-attached blocks carry placeholder
+            # generators.
+            payloads = [
+                (
+                    block,
+                    programs,
+                    self._blocks[block]._rng.bit_generator.state,
+                )
+                for block, programs in tasks
+            ]
+            for block, state in self._process_map(_run_program_task, payloads):
+                self._blocks[block]._rng.bit_generator.state = state
+        else:
+            self.executor.map(self._program_block_task, tasks)
+        self._settle_arena(block for block, _ in tasks)
+
+    def _program_block_task(self, task: tuple) -> None:
+        """Run one block's queued programs on the live block (pure per
+        block: the serial/threaded flush path)."""
+        block, programs = task
+        fb = self._blocks[block]
+        for wordline, now, lsb, msb in programs:
+            fb.program_wordline_bits(wordline, lsb, msb, now)
 
     def on_erase(self, block: int, now: float) -> None:
+        # Flush all queued programs first: erase draws from the same
+        # per-block stream, and the serial order is programs-then-erase.
+        self.flush_programs()
         fb = self._blocks.get(block)
         if fb is not None:
             fb.erase(now)
+            self._settle_arena((block,))
 
     def on_open(self, block: int, now: float) -> None:
         # Physical erase (the disturb/history reset) happened at on_erase.
@@ -282,13 +483,49 @@ class FlashChipBackend:
         the mapping current at flush time (the engine flushes before any
         relocation moves data); the voltage cache is managed by the
         block's own epoch bumps.
+
+        **Process dispatch.**  Under a multi-worker
+        :class:`~repro.controller.executor.ProcessExecutor` the tasks
+        cross to the workers as index tuples only (module-level
+        :func:`_run_read_task`); cell state stays in the shared arena
+        and the outcomes merge in the same ascending-block order, so the
+        result is still bit-identical to serial.
         """
+        # Reads observe programmed state: drain the deferred program
+        # queue before the empty-batch early-return (a flush with no
+        # reads must still surface queued programs to later observers).
+        self.flush_programs()
         if ppns.size == 0:
             return
         tasks = self._plan_reads(ppns)
+        if self._use_process_pool(len(tasks)):
+            payloads = [
+                (task.block_id, task.wordlines, task.counts, task.pages, now)
+                for task in tasks
+            ]
+            outcomes = self._process_map(_run_read_task, payloads)
+            self._merge_outcomes(outcomes, now)
+            self._settle_arena(task.block_id for task in tasks)
+            return
         execute = partial(self._sense_and_decode, now=now)
-        outcomes = self.executor.map(execute, tasks)
-        self._merge_outcomes(outcomes, now)
+        limit = self._store.resident_limit if self._store is not None else None
+        if limit is None:
+            outcomes = self.executor.map(execute, tasks)
+            self._merge_outcomes(outcomes, now)
+            return
+        # Out-of-core: one flush can touch far more blocks than the
+        # residency budget, so execute/merge/settle in LRU-sized chunks.
+        # The merge is a sequential fold in ascending block order and
+        # each block is exactly one task, so chunking at any boundary
+        # (with the flush-wide RDR dedup set threaded through) produces
+        # bit-identical results while peak residency stays near the
+        # limit instead of near the flush's block count.
+        rescued: set[tuple[int, int]] = set()
+        for start in range(0, len(tasks), limit):
+            chunk = tasks[start : start + limit]
+            outcomes = self.executor.map(execute, chunk)
+            self._merge_outcomes(outcomes, now, rescued)
+            self._settle_arena(task.block_id for task in chunk)
 
     def _plan_reads(self, ppns: np.ndarray) -> list[BlockReadTask]:
         """Grouping/planning pass: one :class:`BlockReadTask` per block.
@@ -346,7 +583,10 @@ class FlashChipBackend:
         return BlockReadOutcome(task.block_id, in_block, decode)
 
     def _merge_outcomes(
-        self, outcomes: list[BlockReadOutcome], now: float
+        self,
+        outcomes: list[BlockReadOutcome],
+        now: float,
+        rescued_wordlines: set[tuple[int, int]] | None = None,
     ) -> None:
         """Ordered merge: fold outcomes into shared state, escalate RDR.
 
@@ -356,7 +596,8 @@ class FlashChipBackend:
         loop produced.  RDR mutates only the failing block — blocks the
         executor already decoded are unaffected.
         """
-        rescued_wordlines: set[tuple[int, int]] = set()
+        if rescued_wordlines is None:
+            rescued_wordlines = set()
         for outcome in outcomes:
             if outcome.decode is None:
                 continue
@@ -390,16 +631,19 @@ class FlashChipBackend:
         no RNG is consumed, so observing a run (e.g. the sweep runner's
         per-window trajectory) cannot perturb it.
         """
+        self.flush_programs()
         worst = None
-        for fb in self._blocks.values():
+        for block_id, fb in self._blocks.items():
             if not fb.programmed.any():
                 continue
             rber = fb.measure_block_rber(now=now, vpass=self.vpass)
+            self._settle_arena((block_id,))
             if worst is None or rber > worst:
                 worst = rber
         return worst
 
     def summary(self) -> dict:
+        self.flush_programs()
         return {
             "backend": self.name,
             "bound_blocks": len(self._blocks),
@@ -421,11 +665,86 @@ class FlashChipBackend:
         if fb is None:
             if self.geometry is None:
                 raise RuntimeError("backend not bound to an FTL yet")
-            fb = FlashBlock(self.geometry, self._rng_factory, block_id=block_id)
+            fb = FlashBlock(
+                self.geometry,
+                self._rng_factory,
+                block_id=block_id,
+                store=self._store,
+            )
             if self.initial_pe_cycles > 0:
                 fb.cycle_wear_to(self.initial_pe_cycles)
             self._blocks[block_id] = fb
+        elif self._store is not None:
+            # Keep the arena's LRU warm for out-of-core spilling.
+            self._store.touch(block_id)
         return fb
+
+    def _worker_block(self, block_id: int) -> FlashBlock:
+        """Worker-side block lookup: the fork-inherited dict first, then
+        an arena reattach for blocks the parent materialized after the
+        pool forked (slab addressing is deterministic in *block_id*)."""
+        fb = self._blocks.get(block_id)
+        if fb is None:
+            fb = FlashBlock.attach(self.geometry, self._store, block_id)
+            self._blocks[block_id] = fb
+        return fb
+
+    def _use_process_pool(self, n_tasks: int) -> bool:
+        """Whether a flush of *n_tasks* blocks crosses to worker
+        processes (multi-worker process executor, multi-block flush)."""
+        return self._process_workers and n_tasks > 1
+
+    def _process_map(self, fn, payloads: list) -> list:
+        """Run picklable *payloads* on the process executor's pool,
+        installing this backend in each worker by fork inheritance."""
+        return self.executor.process_map(
+            fn,
+            payloads,
+            initializer=_install_worker_backend,
+            initargs=(self,),
+        )
+
+    def _settle_arena(self, block_ids) -> None:
+        """Re-enter *block_ids* into the arena's LRU after their slabs
+        were touched through live views.
+
+        Task execution, program flushes, and RBER probes fault slab
+        pages back in *without* going through :meth:`BlockStore.slab`
+        (they hold the numpy views directly), so the LRU would never see
+        those refaults — a block evicted mid-batch and then executed
+        would stay resident forever.  Touching after the fact keeps the
+        spill accounting honest: anything faulted in re-queues for
+        eviction, so the resident set stays bounded by the limit plus
+        one batch.  No-op without an out-of-core arena.
+        """
+        if self._store is not None and self._store.resident_limit is not None:
+            for block_id in block_ids:
+                self._store.touch(block_id)
+
+    def _on_arena_evict(self, block_id: int) -> None:
+        """Arena spilled a block: drop its heap-resident voltage cache
+        (the materialized voltages are the real RSS cost; they recompute
+        from the slab on the next sense)."""
+        fb = self._blocks.get(block_id)
+        if fb is not None:
+            fb._voltage_cache = None
+            fb._voltage_cache_key = None
+
+    def close(self) -> None:
+        """Release pooled workers and the block arena (idempotent).
+
+        Flushes nothing: callers observe final state via
+        :meth:`summary` (which flushes) before closing —
+        :func:`repro.controller.factory.run_scenario` does this inside
+        its ``try``/``finally``.
+        """
+        if self._owns_executor:
+            close = getattr(self.executor, "close", None)
+            if close is not None:
+                close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     def _escalate(
         self,

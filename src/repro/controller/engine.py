@@ -156,6 +156,32 @@ class SimulationEngine(FtlObserver):
         if self._chained_observer is not None:
             self._chained_observer.on_append(block, page, lpn, old_ppn, now)
 
+    def on_append_many(
+        self,
+        block: int,
+        pages: np.ndarray,
+        lpns: np.ndarray,
+        old_ppns: np.ndarray,
+        now: float,
+    ) -> None:
+        # Same bookkeeping as per-page on_append, but the backend sees
+        # the whole burst at once (its parallel write path batches the
+        # block's wordline programs).
+        if self._recording:
+            pages_per_block = self.ftl.config.pages_per_block
+            for page, lpn, old_ppn in zip(pages, lpns, old_ppns):
+                lpn = int(lpn)
+                if lpn not in self._log_seen:
+                    self._log_seen.add(lpn)
+                    self._log.append((lpn, 0, int(old_ppn)))
+                self._log.append(
+                    (lpn, self._epoch + 1, block * pages_per_block + int(page))
+                )
+        if not self._counter_only:
+            self.backend.on_append_many(block, pages, lpns, now)
+        if self._chained_observer is not None:
+            self._chained_observer.on_append_many(block, pages, lpns, old_ppns, now)
+
     def on_open(self, block: int, now: float) -> None:
         if self._recording:
             # Opening resets the block's read counter: charges from reads
@@ -422,6 +448,18 @@ class SimulationEngine(FtlObserver):
             return
         mapped = resolved[0] if len(resolved) == 1 else np.concatenate(resolved)
         self.backend.on_reads(mapped, self.now)
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared arenas).
+
+        Delegates to the backend's ``close`` when it has one; safe to
+        call on any backend and idempotent.  Extract results (which
+        flush pending work) *before* closing —
+        :func:`repro.controller.factory.run_scenario` shows the shape.
+        """
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
 
     def _drain_relocations(self) -> None:
         """Relocate blocks the backend flagged (post-recovery remap)."""

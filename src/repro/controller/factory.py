@@ -34,6 +34,8 @@ def build_backend(spec: BackendSpec, seed: int) -> PhysicsBackend:
         enable_rdr=spec.enable_rdr,
         seed=seed,
         executor=spec.executor,
+        arena=spec.arena,
+        resident_blocks=spec.resident_blocks,
     )
 
 
@@ -105,27 +107,34 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     """
     trace = scenario_trace(scenario)
     engine = build_engine(scenario)
-    trajectory: list[dict] | None = None
-    on_window = None
-    if scenario.record_trajectory:
-        trajectory = []
+    try:
+        trajectory: list[dict] | None = None
+        on_window = None
+        if scenario.record_trajectory:
+            trajectory = []
 
-        def on_window(eng: SimulationEngine) -> None:
-            record = {
-                "window": len(trajectory),
-                "now_days": eng.now / SECONDS_PER_DAY,
-                "host_reads": eng.ftl.host_reads,
-                "gc_runs": eng.ftl.gc_runs,
-                "refreshed_blocks": eng.refresh.refreshed_blocks,
-                "reclaimed_blocks": (
-                    eng.reclaim.reclaimed_blocks if eng.reclaim is not None else 0
-                ),
-                "max_reads_since_program": int(eng.ftl.reads_since_program.max()),
-            }
-            rber = _measure_backend_rber(eng)
-            if rber is not None:
-                record["worst_block_rber"] = rber
-            trajectory.append(record)
+            def on_window(eng: SimulationEngine) -> None:
+                record = {
+                    "window": len(trajectory),
+                    "now_days": eng.now / SECONDS_PER_DAY,
+                    "host_reads": eng.ftl.host_reads,
+                    "gc_runs": eng.ftl.gc_runs,
+                    "refreshed_blocks": eng.refresh.refreshed_blocks,
+                    "reclaimed_blocks": (
+                        eng.reclaim.reclaimed_blocks if eng.reclaim is not None else 0
+                    ),
+                    "max_reads_since_program": int(eng.ftl.reads_since_program.max()),
+                }
+                rber = _measure_backend_rber(eng)
+                if rber is not None:
+                    record["worst_block_rber"] = rber
+                trajectory.append(record)
 
-    stats = engine.run_trace(trace, on_window=on_window)
-    return extract_result(scenario, engine, stats, trajectory)
+        stats = engine.run_trace(trace, on_window=on_window)
+        # Extraction flushes pending backend work (summary does), so it
+        # must run before close() tears down pools and the arena.
+        return extract_result(scenario, engine, stats, trajectory)
+    finally:
+        # Shared-memory arenas and worker pools must not outlive the
+        # scenario, success or failure (no leaked /dev/shm segments).
+        engine.close()

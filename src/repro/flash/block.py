@@ -14,6 +14,15 @@ import numpy as np
 
 from repro.rng import RngFactory
 from repro.units import VPASS_NOMINAL
+from repro.flash.arena import (
+    BlockStore,
+    META_F_SLOTS,
+    META_I_SLOTS,
+    META_PE_CYCLES,
+    META_TOTAL_READS,
+    META_VOLTAGE_EPOCH,
+    METAF_TOTAL_EXPOSURE,
+)
 from repro.flash.cell_array import CellArray
 from repro.flash.errors import page_bits_from_states
 from repro.flash.geometry import FlashGeometry
@@ -64,35 +73,126 @@ class FlashBlock:
         geometry: FlashGeometry,
         rng_factory: RngFactory,
         block_id: int = 0,
+        store: BlockStore | None = None,
     ):
         self.geometry = geometry
         self.block_id = block_id
         self._rng = rng_factory.for_block(block_id).stream("cells")
-        self.cells = CellArray(geometry, self._rng)
         self.disturb_model = DEFAULT_READ_DISTURB
 
-        #: program/erase cycles endured so far.
-        self.pe_cycles = 0
-        #: simulation time at which each wordline was last programmed.
-        self.program_time = np.zeros(geometry.wordlines_per_block, dtype=np.float64)
-        #: whether each wordline holds programmed data (vs. erased).
-        self.programmed = np.zeros(geometry.wordlines_per_block, dtype=bool)
-
-        # Read-disturb accounting: a read targeting wordline w disturbs all
-        # other wordlines, so exposure(w) = total - targeted(w).
-        self._total_exposure = 0.0
-        self._exposure_targeted = np.zeros(geometry.wordlines_per_block, dtype=np.float64)
-        self.total_reads = 0
-        self.reads_targeted = np.zeros(geometry.wordlines_per_block, dtype=np.int64)
+        if store is None:
+            # Heap-backed: the two scalar meta arrays mirror the slab
+            # layout so every counter below has one code path.
+            self._meta_i = np.zeros(META_I_SLOTS, dtype=np.int64)
+            self._meta_f = np.zeros(META_F_SLOTS, dtype=np.float64)
+            #: simulation time at which each wordline was last programmed.
+            self.program_time = np.zeros(
+                geometry.wordlines_per_block, dtype=np.float64
+            )
+            #: whether each wordline holds programmed data (vs. erased).
+            self.programmed = np.zeros(geometry.wordlines_per_block, dtype=bool)
+            # Read-disturb accounting: a read targeting wordline w disturbs
+            # all other wordlines, so exposure(w) = total - targeted(w).
+            self._exposure_targeted = np.zeros(
+                geometry.wordlines_per_block, dtype=np.float64
+            )
+            self.reads_targeted = np.zeros(
+                geometry.wordlines_per_block, dtype=np.int64
+            )
+            self.cells = CellArray(geometry, self._rng)
+        else:
+            # Arena-backed: every mutable array is a view into the
+            # block's slab, shared with any process mapping the arena.
+            slab = store.slab(block_id)
+            self._meta_i = slab.meta_i
+            self._meta_i[:] = 0
+            self._meta_f = slab.meta_f
+            self._meta_f[:] = 0.0
+            self.program_time = slab.program_time
+            self.program_time[:] = 0.0
+            self.programmed = slab.programmed
+            self.programmed[:] = False
+            self._exposure_targeted = slab.exposure_targeted
+            self._exposure_targeted[:] = 0.0
+            self.reads_targeted = slab.reads_targeted
+            self.reads_targeted[:] = 0
+            self.cells = CellArray(geometry, self._rng, storage=slab)
 
         # Dirty-epoch voltage cache: `voltage_epoch` counts every mutation
         # that can change a materialized threshold voltage (program, erase,
         # disturb recording).  `block_voltages` caches one full-block
         # materialization per (now, epoch) key, so any number of sensing
-        # operations between mutations shares a single physics pass.
-        self._voltage_epoch = 0
+        # operations between mutations shares a single physics pass.  The
+        # cache itself is per-process (plain heap arrays); the epoch lives
+        # in the (possibly shared) meta slot, so caches in other processes
+        # invalidate coherently.
         self._voltage_cache_key: tuple[float, int] | None = None
         self._voltage_cache: np.ndarray | None = None
+
+    @classmethod
+    def attach(
+        cls,
+        geometry: FlashGeometry,
+        store: BlockStore,
+        block_id: int,
+    ) -> "FlashBlock":
+        """Reconstruct a block over its existing arena slab, touching
+        nothing.
+
+        This is how a forked executor worker binds to a block the parent
+        materialized *after* the fork: slab addressing is deterministic
+        in ``block_id``, so no coordination is needed, and no state is
+        initialized — the views expose whatever the owning process has
+        written.  The attached block has a placeholder RNG (program
+        tasks ship the authoritative generator state explicitly; read
+        tasks consume no RNG at all).
+        """
+        self = cls.__new__(cls)
+        self.geometry = geometry
+        self.block_id = block_id
+        self._rng = np.random.default_rng(0)  # placeholder; see docstring
+        self.disturb_model = DEFAULT_READ_DISTURB
+        slab = store.slab(block_id)
+        self._meta_i = slab.meta_i
+        self._meta_f = slab.meta_f
+        self.program_time = slab.program_time
+        self.programmed = slab.programmed
+        self._exposure_targeted = slab.exposure_targeted
+        self.reads_targeted = slab.reads_targeted
+        self.cells = CellArray.attach(geometry, slab)
+        self._voltage_cache_key = None
+        self._voltage_cache = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Scalar meta state (slab slots when arena-backed)
+    # ------------------------------------------------------------------
+
+    @property
+    def pe_cycles(self) -> int:
+        """Program/erase cycles endured so far."""
+        return int(self._meta_i[META_PE_CYCLES])
+
+    @pe_cycles.setter
+    def pe_cycles(self, value: int) -> None:
+        self._meta_i[META_PE_CYCLES] = value
+
+    @property
+    def total_reads(self) -> int:
+        """Total reads absorbed since the last erase."""
+        return int(self._meta_i[META_TOTAL_READS])
+
+    @total_reads.setter
+    def total_reads(self, value: int) -> None:
+        self._meta_i[META_TOTAL_READS] = value
+
+    @property
+    def _total_exposure(self) -> float:
+        return float(self._meta_f[METAF_TOTAL_EXPOSURE])
+
+    @_total_exposure.setter
+    def _total_exposure(self, value: float) -> None:
+        self._meta_f[METAF_TOTAL_EXPOSURE] = value
 
     # ------------------------------------------------------------------
     # Voltage-cache epoch
@@ -104,9 +204,11 @@ class FlashBlock:
 
         Bumped by every program, erase, and disturb-recording operation;
         :meth:`block_voltages` reuses a materialization only while the
-        epoch (and requested time) are unchanged.
+        epoch (and requested time) are unchanged.  Arena-backed blocks
+        keep the epoch in the shared slab, so a mutation in one process
+        invalidates every process's cache.
         """
-        return self._voltage_epoch
+        return int(self._meta_i[META_VOLTAGE_EPOCH])
 
     def invalidate_voltage_cache(self) -> None:
         """Bump the epoch after an out-of-band mutation.
@@ -115,7 +217,7 @@ class FlashBlock:
         this only after mutating cell state directly (e.g. swapping
         :attr:`disturb_model` or editing :attr:`cells` arrays in a test).
         """
-        self._voltage_epoch += 1
+        self._meta_i[META_VOLTAGE_EPOCH] += 1
         self._voltage_cache_key = None
         self._voltage_cache = None
 
@@ -212,7 +314,7 @@ class FlashBlock:
         self._exposure_targeted[wordline] += weight
         self.total_reads += count
         self.reads_targeted[wordline] += count
-        self._voltage_epoch += 1
+        self._meta_i[META_VOLTAGE_EPOCH] += 1
 
     def record_reads(
         self,
@@ -236,7 +338,7 @@ class FlashBlock:
         np.add.at(self._exposure_targeted, wordlines, weights)
         self.total_reads += int(counts.sum())
         np.add.at(self.reads_targeted, wordlines, counts)
-        self._voltage_epoch += 1
+        self._meta_i[META_VOLTAGE_EPOCH] += 1
 
     def record_retry_sweep(
         self,
@@ -281,7 +383,7 @@ class FlashBlock:
         self._exposure_targeted[wordline] = targeted
         self.total_reads += count
         self.reads_targeted[wordline] += count
-        self._voltage_epoch += 1
+        self._meta_i[META_VOLTAGE_EPOCH] += 1
 
     def apply_read_disturb(
         self,
@@ -306,7 +408,7 @@ class FlashBlock:
         self._total_exposure += weight
         self._exposure_targeted += weight / self.geometry.wordlines_per_block
         self.total_reads += reads
-        self._voltage_epoch += 1
+        self._meta_i[META_VOLTAGE_EPOCH] += 1
         # Integer bookkeeping: spread as evenly as possible, handing the
         # remainder to the lowest wordlines so reads_targeted.sum() always
         # equals total_reads.
@@ -393,7 +495,7 @@ class FlashBlock:
         are published, cache array first, so a mid-publication observer
         can only ever recompute, never sense a half-written buffer.
         """
-        key = (float(now), self._voltage_epoch)
+        key = (float(now), int(self._meta_i[META_VOLTAGE_EPOCH]))
         if self._voltage_cache is None or self._voltage_cache_key != key:
             cache = self._materialize_rows(slice(None), now)
             cache.flags.writeable = False
@@ -403,7 +505,7 @@ class FlashBlock:
 
     def _cached_voltages(self, now: float) -> np.ndarray | None:
         """The cached full-block materialization if warm for *now*."""
-        key = (float(now), self._voltage_epoch)
+        key = (float(now), int(self._meta_i[META_VOLTAGE_EPOCH]))
         if self._voltage_cache is not None and self._voltage_cache_key == key:
             return self._voltage_cache
         return None

@@ -98,13 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="pass-through voltage(s); several values form a backend axis",
     )
     physics.add_argument(
-        "--executor", choices=("serial", "threaded"), default="serial",
-        help="intra-scenario block-group executor for flash-chip reads "
-        "(bit-identical either way; threaded uses one thread per CPU)",
+        "--executor", choices=("serial", "threaded", "process"), default="serial",
+        help="intra-scenario block-group executor for flash-chip physics "
+        "(bit-identical in every mode; threaded/process default to one "
+        "worker per CPU; process needs --workers 1)",
     )
     physics.add_argument(
         "--executor-workers", type=int, default=None, metavar="N",
-        help="thread count for --executor threaded (default: one per CPU)",
+        help="worker count for --executor threaded/process (default: one per CPU)",
+    )
+    physics.add_argument(
+        "--arena", choices=("shm", "mmap"), default=None,
+        help="block-state arena backing (default: heap arrays; the process "
+        "executor implies shm)",
+    )
+    physics.add_argument(
+        "--resident-blocks", type=int, default=None, metavar="N",
+        help="out-of-core: keep at most N blocks resident (needs --arena mmap)",
     )
     parser.add_argument(
         "--trajectory", action="store_true",
@@ -152,9 +162,11 @@ def build_backends(args: argparse.Namespace) -> tuple[BackendSpec, ...]:
     """
     executor = args.executor
     if args.executor_workers is not None:
-        if executor != "threaded":
-            raise SystemExit("--executor-workers needs --executor threaded")
-        executor = f"threaded:{args.executor_workers}"
+        if executor not in ("threaded", "process"):
+            raise SystemExit(
+                "--executor-workers needs --executor threaded or process"
+            )
+        executor = f"{executor}:{args.executor_workers}"
     if args.backend == "counter" and (len(args.pe_cycles), len(args.vpass)) != (1, 1):
         raise SystemExit(
             "the counter backend ignores --pe-cycles/--vpass; sweep them "
@@ -167,6 +179,8 @@ def build_backends(args: argparse.Namespace) -> tuple[BackendSpec, ...]:
             initial_pe_cycles=pe_cycles,
             vpass=vpass,
             executor=executor,
+            arena=args.arena,
+            resident_blocks=args.resident_blocks,
         )
         for pe_cycles in args.pe_cycles
         for vpass in args.vpass
@@ -243,12 +257,16 @@ def main(argv: list[str] | None = None) -> int:
         f"worker{'s' if runner.workers != 1 else ''}...",
         flush=True,
     )
-    report = runner.run(grid)
-    if args.serial_check:
-        serial = SweepRunner(workers=1).run(grid)
-        if serial.results != report.results:
-            raise SystemExit("parallel report diverged from serial execution")
-        print("serial check: workers=1 report is identical")
+    try:
+        report = runner.run(grid)
+        if args.serial_check:
+            serial = SweepRunner(workers=1).run(grid)
+            if serial.results != report.results:
+                raise SystemExit("parallel report diverged from serial execution")
+            print("serial check: workers=1 report is identical")
+    except ValueError as exc:
+        # e.g. the runner's nested process-pool budget guard.
+        raise SystemExit(str(exc)) from None
     print(summary_table(report))
     if args.json is not None:
         args.json.write_text(report.to_json() + "\n")

@@ -113,13 +113,16 @@ class BackendSpec:
     flash-chip knobs are ignored by the counter backend.
 
     *executor* selects the flash-chip backend's intra-scenario
-    block-group executor (``"serial"``, ``"threaded"``, or
-    ``"threaded:N"``; see :mod:`repro.controller.executor`).  Like
+    block-group executor (``"serial"``, ``"threaded[:N]"``, or
+    ``"process[:N]"``; see :mod:`repro.controller.executor`).  Like
     :attr:`Scenario.batch` it is an *execution* knob, not a physics
     knob: executors are bit-identical by contract, so the executor never
     enters :attr:`label` — and therefore never perturbs scenario ids or
     derived seeds.  Consequently two specs differing only in executor
-    are the *same* scenario and cannot share a grid axis.
+    are the *same* scenario and cannot share a grid axis.  *arena* and
+    *resident_blocks* (the shared/out-of-core block-state storage; see
+    :mod:`repro.flash.arena`) are storage knobs under the same
+    bit-identity contract and stay out of the label too.
     """
 
     kind: str = "counter"
@@ -128,6 +131,8 @@ class BackendSpec:
     vpass: float = VPASS_NOMINAL
     enable_rdr: bool = True
     executor: str = "serial"
+    arena: str | None = None
+    resident_blocks: int | None = None
 
     _KINDS = ("counter", "flash_chip")
 
@@ -141,13 +146,22 @@ class BackendSpec:
         # package); repro.controller.executor.parse_executor_spec is the
         # authoritative parser the engine factory resolves through.
         kind, sep, count = self.executor.partition(":")
-        if kind not in ("serial", "threaded") or (
-            sep and (kind != "threaded" or not count.isdigit() or int(count) < 1)
+        if kind not in ("serial", "threaded", "process") or (
+            sep and (kind == "serial" or not count.isdigit() or int(count) < 1)
         ):
             raise ValueError(
                 f"bad executor spec {self.executor!r}; expected 'serial', "
-                "'threaded', or 'threaded:N'"
+                "'threaded[:N]', or 'process[:N]'"
             )
+        if self.arena not in (None, "shm", "mmap"):
+            raise ValueError(
+                f"bad arena {self.arena!r}; expected None, 'shm', or 'mmap'"
+            )
+        if self.resident_blocks is not None:
+            if self.arena != "mmap":
+                raise ValueError("resident_blocks needs arena='mmap'")
+            if self.resident_blocks < 1:
+                raise ValueError("resident_blocks must be at least 1")
 
     @property
     def label(self) -> str:

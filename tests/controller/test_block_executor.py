@@ -3,7 +3,7 @@
 The contract under test (docs/architecture.md, "The block-group
 executor"): `FlashChipBackend.on_reads` splits every flush into pure
 per-block tasks plus a deterministic ordered merge, so the executor
-choice — `"serial"`, `"threaded"`, `"threaded:N"` — cannot change a
+choice — `"serial"`, `"threaded[:N]"`, `"process[:N]"` — cannot change a
 single bit of the engine summary, the backend counters, the per-block
 device state, the relocation order, or the RDR escalation bookkeeping.
 The worn/relaxed-Vpass configuration drives the uncorrectable-page path
@@ -17,6 +17,7 @@ import pytest
 from repro.controller import (
     CounterBackend,
     FlashChipBackend,
+    ProcessExecutor,
     SerialExecutor,
     SimulationEngine,
     SsdConfig,
@@ -91,8 +92,8 @@ def _per_block_state(backend):
 
 
 @pytest.mark.parametrize("backend_kwargs", [FRESH, WORN], ids=["fresh", "worn"])
-@pytest.mark.parametrize("executor", ["threaded", "threaded:2"])
-def test_threaded_executor_bit_identical_to_serial(backend_kwargs, executor):
+@pytest.mark.parametrize("executor", ["threaded", "threaded:2", "process:2"])
+def test_parallel_executor_bit_identical_to_serial(backend_kwargs, executor):
     serial_engine, serial_stats, serial_relocs = _run(backend_kwargs, "serial")
     threaded_engine, threaded_stats, threaded_relocs = _run(
         backend_kwargs, executor
@@ -124,11 +125,12 @@ def test_worn_path_actually_escalates():
     assert summary["pages_checked"] < fresh_engine.backend.summary()["pages_checked"]
 
 
-def test_per_op_reference_loop_supports_executors():
+@pytest.mark.parametrize("executor", ["threaded:2", "process:2"])
+def test_per_op_reference_loop_supports_executors(executor):
     serial_engine, serial_stats, _ = _run(WORN, "serial", batch=False)
-    threaded_engine, threaded_stats, _ = _run(WORN, "threaded:2", batch=False)
-    assert threaded_engine.backend.summary() == serial_engine.backend.summary()
-    assert threaded_stats == serial_stats
+    parallel_engine, parallel_stats, _ = _run(WORN, executor, batch=False)
+    assert parallel_engine.backend.summary() == serial_engine.backend.summary()
+    assert parallel_stats == serial_stats
 
 
 def test_executor_equivalence_through_scenarios_both_backends():
@@ -156,6 +158,10 @@ def test_executor_equivalence_through_scenarios_both_backends():
         scenario(BackendSpec(**flash, executor="threaded:2"))
     )
     assert serial_result == threaded_result
+    process_result = run_scenario(
+        scenario(BackendSpec(**flash, executor="process:2"))
+    )
+    assert serial_result == process_result
     counter_serial = run_scenario(scenario(BackendSpec(kind="counter")))
     counter_threaded = run_scenario(
         scenario(BackendSpec(kind="counter", executor="threaded:2"))
@@ -172,7 +178,10 @@ def test_parse_executor_spec():
     assert parse_executor_spec("serial") == ("serial", None)
     assert parse_executor_spec("threaded") == ("threaded", None)
     assert parse_executor_spec("threaded:3") == ("threaded", 3)
-    for bad in ("serial:2", "serial:", "threaded:", "threaded:0", "threaded:x", "fibers"):
+    assert parse_executor_spec("process") == ("process", None)
+    assert parse_executor_spec("process:4") == ("process", 4)
+    for bad in ("serial:2", "serial:", "threaded:", "threaded:0", "threaded:x",
+                "process:", "process:0", "process:x", "fibers"):
         with pytest.raises(ValueError):
             parse_executor_spec(bad)
 
@@ -182,6 +191,8 @@ def test_resolve_executor():
     assert isinstance(resolve_executor("serial"), SerialExecutor)
     threaded = resolve_executor("threaded:3")
     assert isinstance(threaded, ThreadedExecutor) and threaded.workers == 3
+    process = resolve_executor("process:2")
+    assert isinstance(process, ProcessExecutor) and process.workers == 2
     ready = ThreadedExecutor(workers=2)
     assert resolve_executor(ready) is ready
     with pytest.raises(TypeError):
@@ -207,10 +218,12 @@ def test_threaded_executor_maps_in_order_and_reuses_pool():
 
 def test_backend_spec_validates_executor():
     assert BackendSpec(executor="threaded:4").executor == "threaded:4"
+    assert BackendSpec(executor="process:4").executor == "process:4"
     # The grid-level check must reject exactly what parse_executor_spec
     # rejects — a spec that passes grid construction but fails in a
     # worker would surface as a mid-sweep ScenarioFailure instead.
-    for bad in ("serial:2", "serial:", "threaded:", "threaded:0", "pool"):
+    for bad in ("serial:2", "serial:", "threaded:", "threaded:0",
+                "process:", "process:0", "pool"):
         with pytest.raises(ValueError):
             BackendSpec(executor=bad)
 

@@ -46,6 +46,7 @@ FLOORS = [
 CORE_GATED_FLOORS = [
     ("sweep_parallel", "speedup_workers_4", 1.5, 4),
     ("intra_scenario", "speedup_threaded_4", 1.5, 4),
+    ("process_executor", "speedup_process_4", 1.5, 4),
 ]
 
 #: keys that must exist per section even when no floor binds (so a bench
@@ -55,6 +56,7 @@ REQUIRED_KEYS = {
     "physics_hotpath": ["decode_relaxed_pages_per_sec_batched"],
     "sweep_parallel": ["cpu_count", "seconds_workers_1"],
     "intra_scenario": ["cpu_count", "seconds_serial", "serial_ops_per_sec"],
+    "process_executor": ["cpu_count", "seconds_serial", "serial_ops_per_sec"],
 }
 
 
