@@ -52,7 +52,13 @@ def default_executor_workers() -> int:
     """
     env = os.environ.get("REPRO_EXECUTOR_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_EXECUTOR_WORKERS must be an integer worker count, "
+                f"got {env!r}"
+            ) from None
     return max(1, os.cpu_count() or 1)
 
 

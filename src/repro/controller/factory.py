@@ -19,6 +19,7 @@ from repro.controller.backends import CounterBackend, FlashChipBackend, PhysicsB
 from repro.controller.engine import SimulationEngine
 from repro.controller.ftl import SsdConfig
 from repro.parallel.results import ScenarioResult
+from repro.testing.faults import maybe_inject
 from repro.workloads.grid import BackendSpec, Scenario
 from repro.workloads.trace_cache import scenario_trace
 
@@ -105,6 +106,11 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     reuse a single frozen trace, and fork-start sweep workers inherit
     pre-warmed traces copy-on-write instead of regenerating them.
     """
+    # The one fault-injection hook of the execution path: a no-op unless
+    # a test armed a fault for exactly this scenario id (see
+    # repro.testing.faults) — it is how the campaign layer's crash/hang/
+    # retry recovery is exercised deterministically.
+    maybe_inject(scenario.scenario_id)
     trace = scenario_trace(scenario)
     engine = build_engine(scenario)
     try:

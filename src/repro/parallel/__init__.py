@@ -1,4 +1,4 @@
-"""Sharded parallel scenario sweeps.
+"""Sharded parallel scenario sweeps and fault-tolerant campaigns.
 
 The paper's campaigns — RBER vs. read counts, Vpass sweeps,
 refresh/reclaim ablations — are grids of independent simulations, and
@@ -11,18 +11,53 @@ to serial execution:
   or the ``python -m repro.sweep`` CLI;
 - read the merged :class:`SweepReport`, keyed by scenario id.
 
-See ``docs/architecture.md`` ("The sweep subsystem") for the determinism
-contract and ``tests/parallel/`` for the equivalence suite.
+For grids too large or too long-lived to run in one sitting, the
+campaign layer adds durability on the same substrate:
+
+- :class:`ResultStore` — an append-only, crash-safe on-disk store of
+  per-scenario results (checksummed records, fsync'd appends, atomic
+  manifest) that merges across shards and hosts by construction;
+- :class:`Campaign` — checkpoint/resume over a store, per-scenario
+  failure policy (``fail_fast`` | ``continue`` | ``retry:N`` with
+  exponential backoff), wall-clock timeouts that kill hung workers,
+  hash-sharding (``shard="i/N"``), and streaming aggregation.
+
+See ``docs/architecture.md`` ("The sweep subsystem", "Campaigns") for
+the determinism contract and ``tests/parallel/`` for the equivalence
+suite.
 """
 
-from repro.parallel.results import ScenarioFailure, ScenarioResult, SweepReport
+from repro.parallel.campaign import (
+    Campaign,
+    FailurePolicy,
+    StreamingAggregate,
+    parse_shard,
+    run_campaign,
+    shard_of,
+)
+from repro.parallel.results import (
+    ScenarioFailure,
+    ScenarioResult,
+    SweepReport,
+    SweepWorkerLost,
+)
 from repro.parallel.runner import SweepRunner, default_workers, run_sweep
+from repro.parallel.store import ResultStore, grid_fingerprint
 
 __all__ = [
+    "Campaign",
+    "FailurePolicy",
+    "ResultStore",
     "ScenarioFailure",
     "ScenarioResult",
+    "StreamingAggregate",
     "SweepReport",
     "SweepRunner",
+    "SweepWorkerLost",
     "default_workers",
+    "grid_fingerprint",
+    "parse_shard",
+    "run_campaign",
     "run_sweep",
+    "shard_of",
 ]

@@ -1,0 +1,578 @@
+"""Fault-tolerant, resumable sweep campaigns.
+
+:class:`~repro.parallel.runner.SweepRunner` is one process pool, one
+shot, results in memory: a worker exception kills the whole sweep, a
+hung worker stalls it forever, and a killed run restarts from zero.  A
+:class:`Campaign` wraps the same deterministic sweep substrate for
+grids where that is unacceptable — the paper's 10⁴–10⁶-scenario
+characterization cross-products:
+
+- **Persistence.**  Every finished scenario is appended durably to a
+  :class:`~repro.parallel.store.ResultStore` *as it lands*, so no
+  completed work is ever lost.
+- **Checkpoint/resume.**  A campaign started over a store simply skips
+  every scenario the store already holds; killing the campaign parent
+  at any point (power loss included — appends are fsync'd) and
+  rerunning it continues instead of restarting.
+- **Failure isolation.**  Each scenario runs in its own worker process,
+  so a crash (segfault, OOM kill, ``os._exit``) takes down one attempt,
+  not the campaign.  The per-scenario failure policy is
+  ``fail_fast`` (first failure aborts, completed results stay stored),
+  ``continue`` (record and move on), or ``retry:N`` (N retries with
+  exponential backoff, then continue); every failed attempt lands in
+  the store's failure ledger.
+- **Timeouts.**  A per-scenario wall-clock timeout kills hung workers
+  (the only cure for a genuine hang) and feeds the failure policy.
+- **Sharding.**  ``shard="i/N"`` selects the scenarios whose id hashes
+  to shard *i* of *N*; independent hosts each run one shard into their
+  own store and the stores merge into one report by construction
+  (:meth:`~repro.parallel.store.ResultStore.ingest`).
+- **Streaming aggregation.**  Worst-block-RBER / wear / read-pressure
+  percentiles update as results land (:class:`StreamingAggregate`), so
+  a week-long campaign is observable while it runs.
+
+**The determinism contract does the hard part.**  Scenario results are
+bit-determined by the scenario alone (spawn-keyed seeding) and reports
+merge order-free by scenario id — so a campaign that crashed, resumed,
+retried, timed out, and ran as two shards on two hosts *must* produce a
+report bit-identical to one uninterrupted serial
+``SweepRunner(workers=1).run(grid)``.  The equivalence suite
+(``tests/parallel/test_campaign.py``) pins exactly that, with every
+failure mode injected deterministically via :mod:`repro.testing.faults`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+
+from repro.parallel.results import ScenarioFailure, ScenarioResult, SweepReport
+from repro.parallel.runner import (
+    _pool_context,
+    _reject_nested_process_pools,
+    default_workers,
+)
+from repro.parallel.store import ResultStore
+from repro.workloads.grid import Scenario, ScenarioGrid
+
+# repro.controller.factory is imported lazily (see runner.py: the factory
+# imports repro.parallel.results, so importing it here would be circular
+# at package init).
+
+
+def shard_of(scenario_id: str, shards: int) -> int:
+    """Which shard of *shards* owns *scenario_id*.
+
+    A stable content hash (never Python's randomized ``hash``), so every
+    host computes the same partition and the N shard runs cover the grid
+    exactly once with no coordination.
+    """
+    digest = hashlib.sha256(scenario_id.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse ``"i/N"`` (0-based shard index) into ``(i, N)``."""
+    index_text, sep, total_text = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        raise ValueError(
+            f"bad shard spec {spec!r}; expected 'i/N' with 0 <= i < N"
+        ) from None
+    if total < 1 or not 0 <= index < total:
+        raise ValueError(
+            f"bad shard spec {spec!r}; expected 'i/N' with 0 <= i < N"
+        )
+    return index, total
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What a campaign does when a scenario attempt fails.
+
+    *kind* is ``"fail_fast"`` (abort the campaign; stored results
+    survive), ``"continue"`` (ledger the failure, move on), or
+    ``"retry"`` (up to *retries* retries with exponential backoff —
+    ``backoff * backoff_factor**(attempt-1)`` seconds after the
+    *attempt*-th failure — then continue).  Every failed attempt is
+    ledgered regardless of kind.
+    """
+
+    kind: str = "fail_fast"
+    retries: int = 0
+    backoff: float = 0.5
+    backoff_factor: float = 2.0
+
+    _KINDS = ("fail_fast", "continue", "retry")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown failure policy {self.kind!r}; expected one of "
+                f"{self._KINDS}"
+            )
+        if self.kind == "retry" and self.retries < 1:
+            raise ValueError("retry policy needs at least one retry")
+        if self.backoff < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+
+    @classmethod
+    def parse(
+        cls, text: str, backoff: float = 0.5, backoff_factor: float = 2.0
+    ) -> "FailurePolicy":
+        """Parse the CLI form: ``fail_fast`` | ``continue`` | ``retry:N``."""
+        kind, sep, count = text.partition(":")
+        if kind in ("fail_fast", "continue") and not sep:
+            return cls(kind=kind, backoff=backoff, backoff_factor=backoff_factor)
+        if kind == "retry" and sep:
+            try:
+                retries = int(count)
+            except ValueError:
+                retries = 0
+            return cls(
+                kind="retry",
+                retries=retries,
+                backoff=backoff,
+                backoff_factor=backoff_factor,
+            )
+        raise ValueError(
+            f"bad failure policy {text!r}; expected 'fail_fast', "
+            f"'continue', or 'retry:N'"
+        )
+
+    def retry_allowed(self, attempt: int) -> bool:
+        """May a scenario whose *attempt*-th try just failed run again?"""
+        return self.kind == "retry" and attempt <= self.retries
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the retry that follows failed attempt *attempt*."""
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+class StreamingAggregate:
+    """Live campaign digest, updated as each result lands.
+
+    Tracks exact percentile inputs (one scalar per scenario — a million
+    scenarios is a few megabytes), so :meth:`snapshot` reports true
+    percentiles of the results so far, not sketch approximations:
+    worst-block RBER (flash-chip scenarios with a trajectory), peak
+    per-interval read pressure, and end-of-run wear, plus summed
+    uncorrectable/data-loss counters.
+    """
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.failed_attempts = 0
+        self.uncorrectable_pages = 0
+        self.data_loss_events = 0
+        self._worst_rber: list[float] = []
+        self._peak_reads: list[float] = []
+        self._max_wear: list[float] = []
+
+    def observe(self, result: ScenarioResult) -> None:
+        """Fold one landed scenario result into the aggregate."""
+        self.completed += 1
+        backend = result.backend
+        self.uncorrectable_pages += int(backend.get("uncorrectable_pages", 0))
+        self.data_loss_events += int(backend.get("data_loss_events", 0))
+        self._peak_reads.append(
+            float(result.stats.get("peak_block_reads_per_interval", 0))
+        )
+        self._max_wear.append(float(result.stats.get("max_pe_cycles", 0)))
+        if result.trajectory:
+            rber = result.trajectory[-1].get("worst_block_rber")
+            if rber is not None:
+                self._worst_rber.append(float(rber))
+
+    def observe_failure(self) -> None:
+        self.failed_attempts += 1
+
+    @staticmethod
+    def _percentiles(values: list[float]) -> dict | None:
+        if not values:
+            return None
+        ordered = sorted(values)
+        n = len(ordered)
+
+        def rank(q: float) -> float:
+            return ordered[min(n - 1, max(0, -(-int(q * n) // 1) - 1))]
+
+        return {
+            "p50": rank(0.50),
+            "p90": rank(0.90),
+            "p99": rank(0.99),
+            "max": ordered[-1],
+            "n": n,
+        }
+
+    def snapshot(self) -> dict:
+        """Point-in-time digest (JSON-ready)."""
+        return {
+            "completed": self.completed,
+            "failed_attempts": self.failed_attempts,
+            "uncorrectable_pages": self.uncorrectable_pages,
+            "data_loss_events": self.data_loss_events,
+            "worst_block_rber": self._percentiles(self._worst_rber),
+            "peak_block_reads_per_interval": self._percentiles(self._peak_reads),
+            "max_pe_cycles": self._percentiles(self._max_wear),
+        }
+
+
+def _campaign_worker(conn, scenario: Scenario) -> None:
+    """Worker entry: run one scenario, report through the pipe, exit.
+
+    Runs in its own (non-daemonic) process so any failure mode — an
+    exception (shipped back as ``("err", traceback)``), a hard crash
+    (the pipe just hits EOF), a hang (the parent kills us) — is
+    isolated to this one attempt.  Non-daemonic matters: a scenario is
+    free to fork its own block-group executor pool under ``workers=1``
+    campaigns, exactly like the in-process sweep path.
+    """
+    from repro.controller.factory import run_scenario
+
+    try:
+        result = run_scenario(scenario)
+        conn.send(("ok", result))
+    except BaseException:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send(("err", traceback.format_exc().strip()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _Attempt:
+    """One queued execution attempt of one scenario."""
+
+    scenario: Scenario
+    attempt: int = 1
+    #: monotonic time before which this attempt must not launch (backoff).
+    not_before: float = 0.0
+
+
+@dataclass
+class _Running:
+    """One in-flight attempt: its process, pipe, and kill deadline."""
+
+    entry: _Attempt
+    process: object
+    conn: object
+    deadline: float | None
+
+    def reap(self) -> int | None:
+        """Join the process and close the parent's pipe end."""
+        self.process.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        return self.process.exitcode
+
+
+class Campaign:
+    """A resumable, fault-tolerant run of one scenario grid over a store.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`~repro.workloads.grid.ScenarioGrid` or iterable of
+        scenarios (unique ids).  The *full* grid, even when sharding —
+        the shard filter is applied internally so every shard binds the
+        store to the same grid fingerprint.
+    store:
+        A :class:`~repro.parallel.store.ResultStore` or a directory
+        path.  Scenarios already in the store are skipped (resume).
+    workers:
+        Maximum in-flight scenario processes (default
+        :func:`~repro.parallel.runner.default_workers`).  Every
+        scenario runs in its own forked worker regardless — ``workers``
+        bounds concurrency, it does not choose an execution mode — so
+        crash/timeout isolation is uniform from 1 worker up.
+    on_failure:
+        A :class:`FailurePolicy` or its CLI string form
+        (``fail_fast`` | ``continue`` | ``retry:N``).
+    timeout:
+        Per-scenario wall-clock seconds before the attempt's worker is
+        killed (``None`` = never).
+    shard:
+        ``"i/N"`` (or an ``(i, N)`` tuple) to run only the scenarios
+        hashing to shard *i* of *N* (:func:`shard_of`).
+
+    :meth:`run` returns the merged :class:`SweepReport` of everything
+    the store now holds for this grid — bit-identical to one serial
+    uninterrupted sweep over the same completed scenarios.
+    """
+
+    def __init__(
+        self,
+        grid: ScenarioGrid | Iterable[Scenario],
+        store: ResultStore | str,
+        *,
+        workers: int | None = None,
+        on_failure: FailurePolicy | str = "fail_fast",
+        timeout: float | None = None,
+        shard: str | tuple[int, int] | None = None,
+        poll_interval: float = 0.02,
+    ):
+        self.scenarios = list(grid)
+        ids = [s.scenario_id for s in self.scenarios]
+        duplicates = sorted(i for i, n in Counter(ids).items() if n > 1)
+        if duplicates:
+            raise ValueError(
+                f"scenario ids must be unique; duplicated: {duplicates}"
+            )
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        self.policy = (
+            FailurePolicy.parse(on_failure)
+            if isinstance(on_failure, str)
+            else on_failure
+        )
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive seconds (or None)")
+        self.timeout = timeout
+        self.shard = (
+            parse_shard(shard) if isinstance(shard, str) else shard
+        )
+        if self.shard is not None:
+            index, total = self.shard
+            if total < 1 or not 0 <= index < total:
+                raise ValueError(f"bad shard {self.shard!r}")
+        writer = (
+            f"shard{self.shard[0]}of{self.shard[1]}" if self.shard else "all"
+        )
+        self.store = (
+            store
+            if isinstance(store, ResultStore)
+            else ResultStore(store, writer=writer)
+        )
+        self.poll_interval = float(poll_interval)
+        #: scenarios this run skipped because the store already held them.
+        self.resumed = 0
+        #: permanent failures of this run (policy said stop retrying).
+        self.failed: list[dict] = []
+        #: every failed attempt of this run (mirror of the store ledger).
+        self.ledger: list[dict] = []
+        self.aggregate = StreamingAggregate()
+
+    # ------------------------------------------------------------------
+    # Shard / scope helpers
+    # ------------------------------------------------------------------
+
+    def _mine(self) -> list[Scenario]:
+        """The scenarios this campaign instance is responsible for."""
+        if self.shard is None:
+            return list(self.scenarios)
+        index, total = self.shard
+        return [
+            s
+            for s in self.scenarios
+            if shard_of(s.scenario_id, total) == index
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, progress=None) -> SweepReport:
+        """Run (or resume) the campaign and return the merged report.
+
+        *progress*, when given, is called with
+        ``self.aggregate.snapshot()`` after every landed result.  The
+        report covers every grid scenario the store holds once this
+        run's scenarios finish — under a shard spec that includes any
+        other shards' results already merged into the store.
+        """
+        from repro.workloads.trace_cache import warm_trace_cache
+
+        self.store.bind(self.scenarios)
+        mine = self._mine()
+        stored = self.store.load()
+        grid_ids = {s.scenario_id for s in self.scenarios}
+        for scenario_id, result in stored.items():
+            if scenario_id in grid_ids:
+                self.aggregate.observe(result)
+        to_run = [s for s in mine if s.scenario_id not in stored]
+        self.resumed = len(mine) - len(to_run)
+        if self.workers > 1:
+            _reject_nested_process_pools(to_run, self.workers)
+        context = _pool_context()
+        if to_run and context.get_start_method() == "fork":
+            # Forked workers inherit every pre-generated trace
+            # copy-on-write (identical results either way — generation
+            # is deterministic in the scenario).
+            warm_trace_cache(to_run)
+        try:
+            self._execute(to_run, context, progress)
+        finally:
+            self.store.close()
+        return self.report()
+
+    def report(self) -> SweepReport:
+        """Merged report of everything the store holds for this grid."""
+        results = self.store.load()
+        grid_ids = {s.scenario_id for s in self.scenarios}
+        ordered = tuple(
+            sorted(
+                (r for i, r in results.items() if i in grid_ids),
+                key=lambda r: r.scenario_id,
+            )
+        )
+        return SweepReport(results=ordered, workers=self.workers)
+
+    def _execute(self, scenarios, context, progress) -> None:
+        """The scheduling loop: launch, multiplex, time out, retry."""
+        queue = [_Attempt(scenario) for scenario in scenarios]
+        inflight: dict[str, _Running] = {}
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                # Launch every ready attempt the worker budget allows.
+                for entry in list(queue):
+                    if len(inflight) >= self.workers:
+                        break
+                    if entry.not_before > now:
+                        continue
+                    queue.remove(entry)
+                    inflight[entry.scenario.scenario_id] = self._launch(
+                        entry, context
+                    )
+                self._poll(queue, inflight, progress)
+        except BaseException:
+            # fail_fast, a store error, or KeyboardInterrupt: don't
+            # leave orphan workers running scenarios nobody will reap.
+            for running in inflight.values():
+                running.process.kill()
+                running.reap()
+            raise
+
+    def _launch(self, entry: _Attempt, context) -> _Running:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_campaign_worker,
+            args=(child_conn, entry.scenario),
+            name=f"repro-campaign-{entry.scenario.scenario_id}",
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        return _Running(entry, process, parent_conn, deadline)
+
+    def _poll(self, queue, inflight, progress) -> None:
+        """Wait for one scheduling event: a result, a death, a timeout,
+        or a backoff expiry."""
+        now = time.monotonic()
+        wait_until = now + self.poll_interval
+        for running in inflight.values():
+            if running.deadline is not None:
+                wait_until = min(wait_until, running.deadline)
+        for entry in queue:
+            if entry.not_before > now:
+                wait_until = min(wait_until, entry.not_before)
+        timeout = max(0.0, wait_until - now)
+        conns = [running.conn for running in inflight.values()]
+        if conns:
+            ready = _connection_wait(conns, timeout)
+        else:
+            time.sleep(timeout)
+            ready = []
+        by_conn = {running.conn: running for running in inflight.values()}
+        for conn in ready:
+            running = by_conn[conn]
+            scenario_id = running.entry.scenario.scenario_id
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                exitcode = running.reap()
+                del inflight[scenario_id]
+                self._attempt_failed(
+                    queue,
+                    running.entry,
+                    kind="worker-death",
+                    detail=(
+                        f"worker process died with exit code {exitcode} "
+                        f"before reporting a result (crash, os._exit, or "
+                        f"kill)"
+                    ),
+                )
+                continue
+            running.reap()
+            del inflight[scenario_id]
+            if kind == "ok":
+                self.store.append(payload)
+                self.aggregate.observe(payload)
+                if progress is not None:
+                    progress(self.aggregate.snapshot())
+            else:
+                self._attempt_failed(
+                    queue, running.entry, kind="exception", detail=payload
+                )
+        # Hung workers: past-deadline attempts are killed and fed to the
+        # failure policy exactly like a crash.
+        now = time.monotonic()
+        for scenario_id, running in list(inflight.items()):
+            if running.deadline is None or now < running.deadline:
+                continue
+            running.process.kill()
+            running.reap()
+            del inflight[scenario_id]
+            self._attempt_failed(
+                queue,
+                running.entry,
+                kind="timeout",
+                detail=(
+                    f"scenario exceeded the {self.timeout:g}s wall-clock "
+                    f"timeout; worker killed"
+                ),
+            )
+
+    def _attempt_failed(self, queue, entry: _Attempt, kind: str, detail: str):
+        """Ledger one failed attempt and apply the failure policy."""
+        scenario_id = entry.scenario.scenario_id
+        self.store.record_failure(scenario_id, entry.attempt, kind, detail)
+        record = {
+            "scenario_id": scenario_id,
+            "attempt": entry.attempt,
+            "kind": kind,
+            "detail": detail,
+        }
+        self.ledger.append(record)
+        self.aggregate.observe_failure()
+        if self.policy.kind == "fail_fast":
+            raise ScenarioFailure(scenario_id, f"[{kind}] {detail}")
+        if self.policy.retry_allowed(entry.attempt):
+            queue.append(
+                _Attempt(
+                    scenario=entry.scenario,
+                    attempt=entry.attempt + 1,
+                    not_before=time.monotonic()
+                    + self.policy.delay(entry.attempt),
+                )
+            )
+            return
+        self.failed.append(record)
+
+
+def run_campaign(
+    grid: ScenarioGrid | Iterable[Scenario],
+    store: ResultStore | str,
+    **kwargs,
+) -> SweepReport:
+    """One-call convenience: ``Campaign(grid, store, **kwargs).run()``."""
+    return Campaign(grid, store, **kwargs).run()

@@ -42,6 +42,24 @@ class ScenarioResult:
         """Plain-dict form (JSON-ready)."""
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioResult":
+        """Rebuild a result from :meth:`as_dict` output (exact).
+
+        The record fields are all JSON-native (plain ints, floats,
+        strings, dicts, lists — enforced by the result-store round-trip
+        test), and JSON preserves them bit-for-bit, so a result loaded
+        from a campaign store compares equal to the freshly computed
+        one — the property the resumed ≡ serial equivalence suite pins.
+        """
+        return cls(
+            scenario_id=payload["scenario_id"],
+            stats=payload["stats"],
+            backend=payload["backend"],
+            per_block=payload.get("per_block", {}),
+            trajectory=payload.get("trajectory"),
+        )
+
 
 class ScenarioFailure(RuntimeError):
     """A scenario raised in its worker; carries the scenario id.
@@ -59,6 +77,35 @@ class ScenarioFailure(RuntimeError):
 
     def __reduce__(self):
         return (type(self), (self.scenario_id, self.detail))
+
+
+class SweepWorkerLost(ScenarioFailure):
+    """A sweep worker process died without reporting (SIGKILL, OOM, …).
+
+    Unlike an exception *inside* a scenario — which the worker catches
+    and ships back as a :class:`ScenarioFailure` — a killed worker can
+    report nothing, so the runner cannot know which of the unfinished
+    scenarios was in flight on the dead process.  This error names all
+    of them (a small superset of the true in-flight set), which is what
+    an operator needs to re-run; ``scenario_id`` is the first as a
+    best-effort single-id anchor for code that only knows the base
+    class.
+    """
+
+    def __init__(self, scenario_ids, detail: str):
+        ids = tuple(scenario_ids)
+        shown = ", ".join(ids[:8]) + ("…" if len(ids) > 8 else "")
+        RuntimeError.__init__(
+            self,
+            f"a sweep worker process died without reporting ({detail}); "
+            f"{len(ids)} unfinished scenario(s): {shown}",
+        )
+        self.scenario_id = ids[0] if ids else "<unknown>"
+        self.scenario_ids = ids
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.scenario_ids, self.detail))
 
 
 @dataclass(frozen=True)

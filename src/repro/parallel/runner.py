@@ -32,9 +32,16 @@ import os
 import traceback
 from collections import Counter
 from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
-from repro.parallel.results import ScenarioFailure, ScenarioResult, SweepReport
+from repro.parallel.results import (
+    ScenarioFailure,
+    ScenarioResult,
+    SweepReport,
+    SweepWorkerLost,
+)
 from repro.workloads.grid import Scenario, ScenarioGrid
 
 # repro.controller.factory is imported lazily inside SweepRunner.run: the
@@ -50,7 +57,13 @@ def default_workers() -> int:
     """
     env = os.environ.get("REPRO_SWEEP_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SWEEP_WORKERS must be an integer worker count, "
+                f"got {env!r}"
+            ) from None
     return max(1, os.cpu_count() or 1)
 
 
@@ -82,6 +95,33 @@ def _run_tagged(tagged: tuple[int, str, Callable[[Any], Any], Any]):
         return index, fn(item)
     except Exception:  # noqa: BLE001 - reported to the parent
         return index, ScenarioFailure(label, traceback.format_exc().strip())
+
+
+def _run_tagged_chunk(chunk: list) -> list:
+    """Worker entry for a chunk: run items until one fails.
+
+    Stops at the first failing item — the parent aborts the whole map on
+    it, so finishing the chunk would only burn compute on a broken grid.
+    """
+    results = []
+    for tagged in chunk:
+        results.append(_run_tagged(tagged))
+        if isinstance(results[-1][1], ScenarioFailure):
+            break
+    return results
+
+
+def _kill_pool(executor: ProcessPoolExecutor) -> None:
+    """Abandon *executor* without draining it: cancel queued work and
+    kill the worker processes mid-item (the terminate() a raw Pool had).
+    """
+    processes = dict(getattr(executor, "_processes", None) or {})
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes.values():
+        try:
+            process.kill()
+        except (OSError, ValueError):
+            pass
 
 
 class SweepRunner:
@@ -134,6 +174,14 @@ class SweepRunner:
         so a broken grid does not burn the rest of the fleet's compute;
         with several failing items, *which* one is reported may vary
         with scheduling).
+
+        A worker that *dies* without reporting — SIGKILL, OOM kill,
+        ``os._exit`` — can return nothing, which stalled the previous
+        ``multiprocessing.Pool`` implementation forever.  The pool here
+        is a :class:`~concurrent.futures.ProcessPoolExecutor`, which
+        detects the death; the run raises :class:`SweepWorkerLost`
+        naming every label whose result had not yet arrived (a small
+        superset of what was actually in flight on the dead worker).
         """
         items = list(items)
         if labels is None:
@@ -158,20 +206,40 @@ class SweepRunner:
         tagged = [
             (index, labels[index], fn, item) for index, item in enumerate(items)
         ]
-        context = _pool_context()
+        chunks = [
+            tagged[i : i + self.chunksize]
+            for i in range(0, len(tagged), self.chunksize)
+        ]
+        received = [False] * len(items)
         failure: ScenarioFailure | None = None
-        # Exiting the with-block calls pool.terminate(), so breaking on
-        # the first reported failure cancels the outstanding items.
-        with context.Pool(processes=min(self.workers, len(items))) as pool:
-            for index, outcome in pool.imap_unordered(
-                _run_tagged, tagged, chunksize=self.chunksize
-            ):
-                if isinstance(outcome, ScenarioFailure):
-                    failure = outcome
-                    break
-                outputs[index] = outcome
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)),
+            mp_context=_pool_context(),
+        )
+        try:
+            pending = {executor.submit(_run_tagged_chunk, c) for c in chunks}
+            while pending and failure is None:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for index, outcome in future.result():
+                        if isinstance(outcome, ScenarioFailure):
+                            failure = outcome
+                            break
+                        outputs[index] = outcome
+                        received[index] = True
+                    if failure is not None:
+                        break
+        except BrokenProcessPool as exc:
+            _kill_pool(executor)
+            lost = [labels[i] for i in range(len(items)) if not received[i]]
+            raise SweepWorkerLost(lost, str(exc) or type(exc).__name__) from exc
+        except BaseException:
+            _kill_pool(executor)
+            raise
         if failure is not None:
+            _kill_pool(executor)
             raise failure
+        executor.shutdown(wait=True)
         return outputs
 
     # ------------------------------------------------------------------
@@ -224,40 +292,51 @@ class SweepRunner:
     def _check_executor_budget(
         self, scenarios: Sequence[Scenario]
     ) -> None:
-        """Reject multi-worker sweeps over multi-process executors.
+        """Reject multi-worker sweeps over multi-process executors
+        (see :func:`_reject_nested_process_pools`)."""
+        _reject_nested_process_pools(scenarios, self.workers)
 
-        Two reasons, one hard and one soft.  Hard: the sweep pool's
-        workers are daemonic processes, and daemonic processes cannot
-        spawn the executor's own worker pool at all.  Soft (why no
-        silent fallback either): even if they could, ``sweep workers x
-        executor processes`` would oversubscribe the machine and thrash
-        rather than speed anything up.  Scenario-level sharding already
-        uses the cores, so the fix is to pick one level: ``workers=1``
-        with ``executor="process:N"`` for few large scenarios, or
-        ``workers=N`` with a serial/threaded executor for many.
-        """
-        from repro.controller.executor import (
-            default_executor_workers,
-            parse_executor_spec,
+
+def _reject_nested_process_pools(
+    scenarios: Sequence[Scenario], workers: int
+) -> None:
+    """Reject multi-worker sweeps over multi-process executors.
+
+    Two reasons, one hard and one soft.  Hard: the sweep pool's
+    workers are daemonic processes, and daemonic processes cannot
+    spawn the executor's own worker pool at all.  Soft (why no
+    silent fallback either): even if they could, ``sweep workers x
+    executor processes`` would oversubscribe the machine and thrash
+    rather than speed anything up.  Scenario-level sharding already
+    uses the cores, so the fix is to pick one level: ``workers=1``
+    with ``executor="process:N"`` for few large scenarios, or
+    ``workers=N`` with a serial/threaded executor for many.  The
+    campaign layer applies the same check (its per-scenario workers
+    are non-daemonic, so nesting is merely ruinous rather than
+    impossible there — rejected all the same).
+    """
+    from repro.controller.executor import (
+        default_executor_workers,
+        parse_executor_spec,
+    )
+
+    for scenario in scenarios:
+        spec = getattr(scenario.backend, "executor", "serial")
+        kind, count = parse_executor_spec(spec)
+        if kind != "process":
+            continue
+        procs = count if count is not None else default_executor_workers()
+        if procs <= 1:
+            continue
+        raise ValueError(
+            f"scenario {scenario.scenario_id!r} requests executor "
+            f"{spec!r} ({procs} processes) inside a {workers}-worker "
+            f"sweep: nested process pools are impossible (pool workers "
+            f"are daemonic) and {workers} x {procs} processes would "
+            f"oversubscribe {_available_cpus()} CPU(s) anyway. Use "
+            f"workers=1 with the process executor, or a serial/threaded "
+            f"executor with sweep workers."
         )
-
-        for scenario in scenarios:
-            spec = getattr(scenario.backend, "executor", "serial")
-            kind, count = parse_executor_spec(spec)
-            if kind != "process":
-                continue
-            procs = count if count is not None else default_executor_workers()
-            if procs <= 1:
-                continue
-            raise ValueError(
-                f"scenario {scenario.scenario_id!r} requests executor "
-                f"{spec!r} ({procs} processes) inside a {self.workers}-worker "
-                f"sweep: nested process pools are impossible (pool workers "
-                f"are daemonic) and {self.workers} x {procs} processes would "
-                f"oversubscribe {_available_cpus()} CPU(s) anyway. Use "
-                f"workers=1 with the process executor, or a serial/threaded "
-                f"executor with sweep workers."
-            )
 
 
 def run_sweep(

@@ -26,6 +26,16 @@ Examples::
         --blocks 16 --pages-per-block 32 --overprovision 0.2 \\
         --executor threaded --trajectory --json sweep.json
 
+    # A resumable campaign: results persist as they land, a rerun of
+    # the same command continues where the previous run stopped
+    python -m repro.sweep --workloads web_0 prxy_0 --seeds 8 \\
+        --campaign runs/night1 --resume --on-failure retry:2 --timeout 600
+
+    # One shard of a two-host campaign (host 2 runs --shard 1/2);
+    # merge the stores afterwards with ResultStore.ingest
+    python -m repro.sweep --workloads web_0 prxy_0 --seeds 8 \\
+        --campaign runs/host1 --shard 0/2
+
     # What can I sweep?
     python -m repro.sweep --list-workloads
 """
@@ -121,9 +131,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a per-maintenance-window trajectory (incl. worst-block "
         "RBER with the flash_chip backend)",
     )
+    campaign = parser.add_argument_group(
+        "campaigns (persistent, resumable, fault-tolerant sweeps)"
+    )
+    campaign.add_argument(
+        "--campaign", type=Path, default=None, metavar="DIR",
+        help="run as a campaign over a persistent result store at DIR: "
+        "results land durably as scenarios finish, each scenario runs in "
+        "its own worker process",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing campaign store (skip stored scenarios); "
+        "without this flag an already-initialized store is an error",
+    )
+    campaign.add_argument(
+        "--on-failure", default="fail_fast", metavar="POLICY",
+        help="per-scenario failure policy: fail_fast, continue, or retry:N "
+        "(N retries with exponential backoff, then continue)",
+    )
+    campaign.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock timeout; a hung worker is killed and "
+        "fed to the failure policy",
+    )
+    campaign.add_argument(
+        "--shard", default=None, metavar="i/N",
+        help="run only the scenarios hashing to shard i of N (0-based); "
+        "shard stores merge with ResultStore.ingest",
+    )
     parser.add_argument(
         "--serial-check", action="store_true",
-        help="also run workers=1 and assert the merged reports are identical",
+        help="also run workers=1 in-process and assert the merged reports "
+        "are identical (for a campaign: every stored result must match "
+        "its serially-computed twin bit-for-bit)",
     )
     parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
@@ -244,29 +285,100 @@ def summary_table(report) -> str:
     )
 
 
+def serial_check(grid, report) -> None:
+    """Recompute the report's scenarios serially and demand bit-identity.
+
+    For a partial report (a shard, or permanent failures under
+    ``continue``) the comparison covers the scenarios the report holds;
+    for a complete campaign or sweep that is the whole grid.
+    """
+    covered = set(report.scenario_ids)
+    scenarios = [s for s in grid if s.scenario_id in covered]
+    serial = SweepRunner(workers=1).run(scenarios)
+    if serial.results != report.results:
+        raise SystemExit("report diverged from serial execution")
+    print(
+        f"serial check: {len(scenarios)} scenario(s) identical to the "
+        f"workers=1 in-process reference"
+    )
+
+
+def run_campaign_cli(args: argparse.Namespace, grid: ScenarioGrid):
+    """The ``--campaign`` execution path: resumable, durable, sharded."""
+    from repro.parallel import Campaign, ScenarioFailure
+    from repro.parallel.store import ResultStore
+
+    if ResultStore.is_initialized(args.campaign) and not args.resume:
+        raise SystemExit(
+            f"campaign store {args.campaign} is already initialized; pass "
+            f"--resume to continue it, or choose a fresh directory"
+        )
+    try:
+        campaign = Campaign(
+            grid,
+            str(args.campaign),
+            workers=args.workers,
+            on_failure=args.on_failure,
+            timeout=args.timeout,
+            shard=args.shard,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    scope = f" (shard {args.shard})" if args.shard else ""
+    print(
+        f"campaign over {len(grid)} scenario(s){scope}, up to "
+        f"{campaign.workers} in flight, store {args.campaign}...",
+        flush=True,
+    )
+    try:
+        report = campaign.run()
+    except ScenarioFailure as exc:
+        raise SystemExit(f"campaign aborted (fail_fast): {exc}") from None
+    except ValueError as exc:
+        # e.g. a grid-fingerprint mismatch against the stored manifest,
+        # or the nested process-pool budget guard.
+        raise SystemExit(str(exc)) from None
+    if campaign.resumed:
+        print(f"resumed: {campaign.resumed} scenario(s) already stored")
+    if campaign.ledger:
+        print(f"failed attempts this run: {len(campaign.ledger)}")
+    for failure in campaign.failed:
+        print(
+            f"  FAILED {failure['scenario_id']} "
+            f"(attempt {failure['attempt']}, {failure['kind']})"
+        )
+    return report, campaign
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_workloads:
         for name in workload_names():
             print(f"{name:12s} {WORKLOAD_SUITE[name].description}")
         return 0
+    if args.resume and args.campaign is None:
+        raise SystemExit("--resume needs --campaign DIR")
+    if args.shard is not None and args.campaign is None:
+        raise SystemExit("--shard needs --campaign DIR (shards merge stores)")
     grid = build_grid(args)
-    runner = SweepRunner(workers=args.workers)
-    print(
-        f"sweeping {len(grid)} scenarios across {runner.workers} "
-        f"worker{'s' if runner.workers != 1 else ''}...",
-        flush=True,
-    )
-    try:
-        report = runner.run(grid)
+    if args.campaign is not None:
+        report, campaign = run_campaign_cli(args, grid)
         if args.serial_check:
-            serial = SweepRunner(workers=1).run(grid)
-            if serial.results != report.results:
-                raise SystemExit("parallel report diverged from serial execution")
-            print("serial check: workers=1 report is identical")
-    except ValueError as exc:
-        # e.g. the runner's nested process-pool budget guard.
-        raise SystemExit(str(exc)) from None
+            serial_check(grid, report)
+    else:
+        runner = SweepRunner(workers=args.workers)
+        print(
+            f"sweeping {len(grid)} scenarios across {runner.workers} "
+            f"worker{'s' if runner.workers != 1 else ''}...",
+            flush=True,
+        )
+        try:
+            report = runner.run(grid)
+        except ValueError as exc:
+            # e.g. the runner's nested process-pool budget guard.
+            raise SystemExit(str(exc)) from None
+        if args.serial_check:
+            serial_check(grid, report)
     print(summary_table(report))
     if args.json is not None:
         args.json.write_text(report.to_json() + "\n")

@@ -1,0 +1,27 @@
+"""Test-support utilities shipped with the package.
+
+Only :mod:`repro.testing.faults` lives here: the deterministic
+fault-injection harness the campaign layer's recovery paths are tested
+against.  Production code may *call into* this package (the scenario
+runner's single fault hook), but nothing here is imported by default on
+any hot path, and with no faults armed every hook is a constant-time
+no-op.
+"""
+
+from repro.testing.faults import (
+    FaultSpec,
+    InjectedFault,
+    active_faults,
+    injected_faults,
+    maybe_inject,
+    parse_faults,
+)
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFault",
+    "active_faults",
+    "injected_faults",
+    "maybe_inject",
+    "parse_faults",
+]

@@ -98,19 +98,31 @@ def _spill(key: tuple, trace: IoTrace) -> None:
 
 
 def _load_spilled(key: tuple) -> IoTrace | None:
-    """Reload a spilled trace, or ``None`` when the tier has no copy."""
+    """Reload a spilled trace, or ``None`` when the tier has no copy.
+
+    A spill file can be torn (process killed mid-write) or bit-rotted;
+    the tier is a pure cache of deterministic generation, so a file
+    that fails to load is deleted and regenerated, never an error.
+    """
     if _disk_tier is None:
         return None
     path = _tier_path(key)
     if not path.exists():
         return None
-    with np.load(path) as data:
-        return IoTrace(
-            timestamps=data["timestamps"],
-            ops=data["ops"],
-            lpns=data["lpns"],
-            name=str(data["name"][()]),
-        )
+    try:
+        with np.load(path) as data:
+            return IoTrace(
+                timestamps=data["timestamps"],
+                ops=data["ops"],
+                lpns=data["lpns"],
+                name=str(data["name"][()]),
+            )
+    except Exception:  # noqa: BLE001 - any unreadable spill means regenerate
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
 
 def _freeze(trace: IoTrace) -> IoTrace:

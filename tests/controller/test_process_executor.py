@@ -155,6 +155,33 @@ def test_no_shm_leak_on_exception_mid_run():
     assert _shm_entries() == before
 
 
+def test_no_shm_leak_when_pool_worker_is_killed():
+    """SIGKILL an executor pool worker mid-campaign: the next dispatch
+    surfaces BrokenProcessPool (not a hang), and closing the engine
+    still tears down every /dev/shm segment — the killed worker only
+    ever *attached* to the parent-owned arena, so cleanup is intact."""
+    import signal
+
+    from concurrent.futures.process import BrokenProcessPool
+
+    before = _shm_entries()
+    backend = FlashChipBackend(bitlines_per_block=128, seed=7, executor="process:2")
+    engine = SimulationEngine(CONFIG, backend=backend)
+    precondition, trace = _trace()
+    engine.run_trace(precondition)
+    engine.run_trace(trace)  # read flushes create the worker pool
+    pool = backend.executor._pool
+    assert pool is not None
+    victim = next(iter(pool._processes.values()))
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join()
+    with pytest.raises(BrokenProcessPool):
+        while True:  # the next pooled flush must raise, never stall
+            engine.run_trace(trace)
+    engine.close()
+    assert _shm_entries() == before
+
+
 def test_no_shm_leak_on_scenario_failure_in_sweep():
     before = _shm_entries()
     good = ScenarioGrid(

@@ -1,0 +1,373 @@
+"""Equivalence suite for fault-tolerant campaigns.
+
+The acceptance bar: a campaign that crashed, was killed, resumed,
+retried, timed out, and ran as shards must produce a report
+bit-identical to one uninterrupted serial ``SweepRunner(workers=1)``
+run.  Every failure mode here is injected deterministically via
+:mod:`repro.testing.faults` — crash/hang/raise on named scenario ids,
+torn and bit-rotted store records — never by timing luck.
+
+Scenarios use the counter backend throughout: a SIGKILL'd campaign
+parent cannot run finalizers, so kill tests must not involve
+/dev/shm arenas (the process-executor suite owns arena lifecycle).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.parallel import (
+    Campaign,
+    FailurePolicy,
+    ScenarioFailure,
+    StreamingAggregate,
+    SweepRunner,
+    parse_shard,
+    run_campaign,
+    shard_of,
+)
+from repro.parallel.store import ResultStore
+from repro.testing.faults import (
+    CRASH_EXIT_CODE,
+    ENV_FAULTS,
+    ENV_STATE,
+    FaultSpec,
+    injected_faults,
+    truncate_store_tail,
+)
+from repro.workloads.grid import GeometrySpec, ScenarioGrid
+from repro.workloads.suites import WORKLOAD_SUITE
+
+
+def counter_grid(seeds=3):
+    return ScenarioGrid(
+        workloads=(WORKLOAD_SUITE["web_0"],),
+        geometries=(GeometrySpec(blocks=64, pages_per_block=64),),
+        seeds=seeds,
+        duration_days=0.02,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return counter_grid()
+
+
+@pytest.fixture(scope="module")
+def serial_report(grid):
+    return SweepRunner(workers=1).run(grid)
+
+
+def ids_of(grid):
+    return [s.scenario_id for s in grid]
+
+
+# ----------------------------------------------------------------------
+# The happy path: campaign ≡ serial, resume skips stored work
+# ----------------------------------------------------------------------
+
+
+def test_campaign_report_equals_serial(grid, serial_report, tmp_path):
+    campaign = Campaign(grid, tmp_path / "store", workers=2)
+    report = campaign.run()
+    assert report.results == serial_report.results
+    assert campaign.resumed == 0 and not campaign.failed
+    assert campaign.aggregate.snapshot()["completed"] == len(grid)
+
+
+def test_resume_skips_stored_scenarios(grid, serial_report, tmp_path):
+    run_campaign(grid, tmp_path / "store", workers=2)
+    resumed = Campaign(grid, tmp_path / "store", workers=2)
+    report = resumed.run()
+    assert resumed.resumed == len(grid)  # nothing re-ran
+    assert report.results == serial_report.results
+    # The streaming aggregate still reflects the whole campaign.
+    assert resumed.aggregate.snapshot()["completed"] == len(grid)
+
+
+def test_partial_store_resumes_only_the_missing(grid, serial_report, tmp_path):
+    scenarios = list(grid)
+    store = ResultStore(tmp_path / "store")
+    store.bind(scenarios)
+    with store:  # pre-store one result, as a killed run would have
+        store.append(serial_report.results[0])
+    campaign = Campaign(grid, tmp_path / "store", workers=2)
+    report = campaign.run()
+    assert campaign.resumed == 1
+    assert report.results == serial_report.results
+
+
+def test_campaign_rejects_wrong_grid_store(grid, tmp_path):
+    ResultStore(tmp_path / "store").bind(list(grid))
+    with pytest.raises(ValueError, match="different.*grid"):
+        Campaign(counter_grid(seeds=5), tmp_path / "store").run()
+
+
+# ----------------------------------------------------------------------
+# Failure policies: crash, hang, raise
+# ----------------------------------------------------------------------
+
+
+def test_crashed_worker_is_retried_bit_identically(
+    grid, serial_report, tmp_path
+):
+    target = ids_of(grid)[0]
+    with injected_faults(
+        FaultSpec("crash", 1, target), state_dir=tmp_path / "faults"
+    ):
+        campaign = Campaign(
+            grid, tmp_path / "store", workers=2, on_failure="retry:2"
+        )
+        report = campaign.run()
+    assert report.results == serial_report.results
+    assert [f["kind"] for f in campaign.ledger] == ["worker-death"]
+    assert str(CRASH_EXIT_CODE) in campaign.ledger[0]["detail"]
+    assert not campaign.failed
+    # The ledger is durable, not just in-memory.
+    assert ResultStore(tmp_path / "store").failures() == campaign.ledger
+
+
+def test_hung_worker_is_killed_retried_with_backoff(
+    grid, serial_report, tmp_path
+):
+    target = ids_of(grid)[1]
+    policy = FailurePolicy(kind="retry", retries=1, backoff=0.3)
+    started = time.monotonic()
+    with injected_faults(
+        FaultSpec("hang", 1, target), state_dir=tmp_path / "faults"
+    ):
+        campaign = Campaign(
+            grid, tmp_path / "store", workers=2,
+            on_failure=policy, timeout=0.5,
+        )
+        report = campaign.run()
+    elapsed = time.monotonic() - started
+    assert report.results == serial_report.results
+    assert [f["kind"] for f in campaign.ledger] == ["timeout"]
+    assert campaign.ledger[0]["scenario_id"] == target
+    assert not campaign.failed
+    # timeout (0.5s) + backoff (0.3s) both actually elapsed.
+    assert elapsed >= 0.8
+
+
+def test_exhausted_retries_become_permanent_failure(grid, tmp_path):
+    target = ids_of(grid)[2]
+    with injected_faults(FaultSpec("raise", None, target)):
+        campaign = Campaign(
+            grid, tmp_path / "store", workers=2,
+            on_failure=FailurePolicy(kind="retry", retries=2, backoff=0.01),
+        )
+        report = campaign.run()
+    assert len(campaign.ledger) == 3  # 1 attempt + 2 retries
+    assert [f["scenario_id"] for f in campaign.failed] == [target]
+    assert report.scenario_ids == sorted(set(ids_of(grid)) - {target})
+
+
+def test_continue_policy_completes_the_rest(grid, serial_report, tmp_path):
+    target = ids_of(grid)[0]
+    with injected_faults(FaultSpec("raise", None, target)):
+        campaign = Campaign(
+            grid, tmp_path / "store", workers=2, on_failure="continue"
+        )
+        report = campaign.run()
+    assert [f["kind"] for f in campaign.failed] == ["exception"]
+    assert "InjectedFault" in campaign.failed[0]["detail"]
+    expected = [r for r in serial_report.results if r.scenario_id != target]
+    assert list(report.results) == expected
+    # A later fault-free resume completes the failed scenario too.
+    report = run_campaign(grid, tmp_path / "store", workers=2)
+    assert report.results == serial_report.results
+
+
+def test_fail_fast_aborts_but_keeps_stored_results(grid, tmp_path):
+    target = ids_of(grid)[-1]
+    with injected_faults(FaultSpec("raise", None, target)):
+        campaign = Campaign(grid, tmp_path / "store", workers=1)
+        with pytest.raises(ScenarioFailure) as excinfo:
+            campaign.run()
+    assert excinfo.value.scenario_id == target
+    # workers=1 runs in grid order, so everything before the bomb landed.
+    stored = ResultStore(tmp_path / "store").scenario_ids()
+    assert stored == set(ids_of(grid)[:-1])
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume: the campaign parent itself dies
+# ----------------------------------------------------------------------
+
+
+def _campaign_argv(grid_seeds, store, extra=()):
+    return [
+        sys.executable, "-m", "repro.sweep",
+        "--workloads", "web_0", "--seeds", str(grid_seeds),
+        "--days", "0.02", "--blocks", "64", "--pages-per-block", "64",
+        # Two slots: the deliberately hung scenario pins one, the other
+        # keeps draining the queue (including the crash retry).
+        "--campaign", str(store), "--resume", "--workers", "2",
+        *extra,
+    ]
+
+
+def test_sigkilled_campaign_resumes_bit_identically(
+    grid, serial_report, tmp_path
+):
+    """The acceptance scenario: a worker crash (injected) *and* a
+    SIGKILL of the whole campaign process group mid-run, then a resume —
+    the final report must match the uninterrupted serial run exactly."""
+    ids = ids_of(grid)
+    store = tmp_path / "store"
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(os.path.dirname(os.path.dirname(repro.__file__))),
+        # Crash the second scenario's first attempt (a worker death the
+        # campaign retries), then hang the last scenario forever so the
+        # parent is deterministically mid-campaign when we shoot it.
+        **{
+            ENV_FAULTS: f"crash:1:{ids[1]};hang:*:{ids[-1]}",
+            ENV_STATE: str(tmp_path / "faults"),
+        },
+    )
+    process = subprocess.Popen(
+        _campaign_argv(len(ids), store, extra=("--on-failure", "retry:2")),
+        env=env,
+        start_new_session=True,  # so killpg reaps campaign workers too
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        expected = set(ids[:-1])
+        while ResultStore(store).scenario_ids() != expected:
+            assert process.poll() is None, "campaign exited prematurely"
+            assert time.monotonic() < deadline, "campaign made no progress"
+            time.sleep(0.05)
+    finally:
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        process.wait()
+    # Every stored result survived the kill; the hung scenario did not
+    # land.  Resume in-process with no faults armed.
+    campaign = Campaign(grid, store, workers=2, on_failure="retry:2")
+    report = campaign.run()
+    assert campaign.resumed == len(ids) - 1
+    assert report.results == serial_report.results
+
+
+def test_torn_append_reruns_on_resume(grid, serial_report, tmp_path):
+    """A parent killed mid-append leaves a torn record; resume re-runs
+    exactly that scenario and the report still matches serial."""
+    store = tmp_path / "store"
+    run_campaign(grid, store, workers=1)
+    truncate_store_tail(store)
+    campaign = Campaign(grid, store, workers=1)
+    report = campaign.run()
+    assert campaign.resumed == len(grid) - 1  # one scenario re-ran
+    assert report.results == serial_report.results
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+
+
+def test_shard_partition_is_stable_and_total(grid):
+    ids = ids_of(counter_grid(seeds=8))
+    owners = {scenario_id: shard_of(scenario_id, 3) for scenario_id in ids}
+    assert owners == {s: shard_of(s, 3) for s in ids}  # stable
+    assert set(owners.values()) <= {0, 1, 2}
+    counts = [list(owners.values()).count(k) for k in range(3)]
+    assert all(count > 0 for count in counts)  # 8 ids spread over 3 shards
+
+
+def test_sharded_stores_merge_to_the_serial_report(tmp_path):
+    grid = counter_grid(seeds=6)
+    serial = SweepRunner(workers=1).run(grid)
+    host_a, host_b = tmp_path / "host-a", tmp_path / "host-b"
+    shard_a = Campaign(grid, host_a, workers=2, shard="0/2")
+    shard_b = Campaign(grid, host_b, workers=2, shard=(1, 2))
+    report_a = shard_a.run()
+    report_b = shard_b.run()
+    assert len(report_a.results) + len(report_b.results) == len(grid)
+    assert not set(report_a.scenario_ids) & set(report_b.scenario_ids)
+    # Merge host B into host A's store; the merged report is serial.
+    merged_store = ResultStore(host_a)
+    merged_store.bind(list(grid))
+    merged_store.ingest(host_b)
+    merged = Campaign(grid, host_a, workers=1).report()
+    assert merged.results == serial.results
+
+
+def test_parse_shard_accepts_and_rejects():
+    assert parse_shard("0/2") == (0, 2)
+    assert parse_shard("3/4") == (3, 4)
+    for bad in ("2/2", "-1/2", "0", "a/b", "1/0", ""):
+        with pytest.raises(ValueError, match="shard"):
+            parse_shard(bad)
+
+
+# ----------------------------------------------------------------------
+# Policy parsing and the streaming aggregate
+# ----------------------------------------------------------------------
+
+
+def test_failure_policy_parsing():
+    assert FailurePolicy.parse("fail_fast").kind == "fail_fast"
+    assert FailurePolicy.parse("continue").kind == "continue"
+    policy = FailurePolicy.parse("retry:3")
+    assert (policy.kind, policy.retries) == ("retry", 3)
+    for bad in ("retry", "retry:", "retry:0", "retry:x", "panic", "continue:2"):
+        with pytest.raises(ValueError):
+            FailurePolicy.parse(bad)
+
+
+def test_failure_policy_backoff_schedule():
+    policy = FailurePolicy(kind="retry", retries=3, backoff=0.5, backoff_factor=2.0)
+    assert [policy.delay(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+    assert policy.retry_allowed(3) and not policy.retry_allowed(4)
+
+
+def test_streaming_aggregate_percentiles(serial_report):
+    from repro.parallel.results import ScenarioResult
+
+    aggregate = StreamingAggregate()
+    for i in range(10):
+        aggregate.observe(
+            ScenarioResult(
+                scenario_id=f"s/{i}",
+                stats={"peak_block_reads_per_interval": 10 * (i + 1),
+                       "max_pe_cycles": 100},
+                backend={"uncorrectable_pages": i, "data_loss_events": 0},
+                trajectory=[{"worst_block_rber": (i + 1) / 1000}],
+            )
+        )
+    aggregate.observe_failure()
+    snapshot = aggregate.snapshot()
+    assert snapshot["completed"] == 10
+    assert snapshot["failed_attempts"] == 1
+    assert snapshot["uncorrectable_pages"] == sum(range(10))
+    rber = snapshot["worst_block_rber"]
+    assert rber["n"] == 10
+    assert rber["p50"] == pytest.approx(0.005)
+    assert rber["max"] == pytest.approx(0.010)
+    peak = snapshot["peak_block_reads_per_interval"]
+    assert (peak["p90"], peak["max"]) == (90, 100)
+    # Real counter results carry no trajectory RBER: percentile is None.
+    empty = StreamingAggregate()
+    empty.observe(serial_report.results[0])
+    assert empty.snapshot()["worst_block_rber"] is None
+
+
+def test_progress_callback_streams_snapshots(grid, tmp_path):
+    snapshots = []
+    Campaign(grid, tmp_path / "store", workers=2).run(
+        progress=snapshots.append
+    )
+    assert len(snapshots) == len(grid)
+    assert [s["completed"] for s in sorted(snapshots, key=lambda s: s["completed"])] == [1, 2, 3]

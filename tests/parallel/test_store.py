@@ -1,0 +1,230 @@
+"""Crash-safety suite for the campaign result store.
+
+The store's contract: an append either lands completely or not at all,
+anything torn or bit-rotted is detected and skipped (the scenario just
+re-runs on resume), stores of one grid merge by file copy, and stores
+of *different* grids refuse to mix.  Corruption is injected from the
+outside via :mod:`repro.testing.faults` — the store gets no say.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel.results import ScenarioResult
+from repro.parallel.store import ResultStore, grid_fingerprint
+from repro.testing.faults import corrupt_store_record, truncate_store_tail
+from repro.workloads.grid import GeometrySpec, ScenarioGrid
+from repro.workloads.suites import WORKLOAD_SUITE
+
+
+def small_grid(seeds=2, root_seed=0):
+    return ScenarioGrid(
+        workloads=(WORKLOAD_SUITE["web_0"],),
+        geometries=(GeometrySpec(blocks=64, pages_per_block=64),),
+        seeds=seeds,
+        duration_days=0.02,
+        root_seed=root_seed,
+    )
+
+
+def fake_result(scenario_id="s/1", value=1.5):
+    return ScenarioResult(
+        scenario_id=scenario_id,
+        stats={"host_reads": 10, "write_amplification": value},
+        backend={"backend": "counter"},
+        per_block={"pe_cycles": [1, 2, 3]},
+        trajectory=[{"window": 0, "worst_block_rber": value / 100}],
+    )
+
+
+# ----------------------------------------------------------------------
+# Round-trip exactness
+# ----------------------------------------------------------------------
+
+
+def test_append_load_round_trip_is_exact(tmp_path):
+    results = [fake_result(f"s/{i}", value=1.0 / (i + 3)) for i in range(4)]
+    with ResultStore(tmp_path) as store:
+        for result in results:
+            store.append(result)
+    loaded = ResultStore(tmp_path).load()
+    assert len(loaded) == 4
+    for result in results:
+        # Dataclass equality covers every field; floats round-trip
+        # bit-for-bit through JSON (shortest-repr), so this is exact.
+        assert loaded[result.scenario_id] == result
+
+
+def test_real_scenario_result_round_trips_exactly(tmp_path):
+    """The full result of a real run — numpy-derived floats and all —
+    survives the store bit-for-bit (the resume ≡ serial keystone)."""
+    from repro.controller.factory import run_scenario
+
+    scenario = small_grid(seeds=1).scenarios()[0]
+    result = run_scenario(scenario)
+    with ResultStore(tmp_path) as store:
+        store.append(result)
+    assert ResultStore(tmp_path).load()[scenario.scenario_id] == result
+
+
+def test_duplicate_identical_records_merge(tmp_path):
+    result = fake_result()
+    with ResultStore(tmp_path, writer="a") as store:
+        store.append(result)
+        store.append(result)  # a retry that raced its own completion
+    with ResultStore(tmp_path, writer="b") as store:
+        store.append(result)  # an overlapping shard
+    assert ResultStore(tmp_path).load() == {result.scenario_id: result}
+
+
+def test_conflicting_duplicate_records_raise(tmp_path):
+    with ResultStore(tmp_path, writer="a") as store:
+        store.append(fake_result(value=1.5))
+    with ResultStore(tmp_path, writer="b") as store:
+        store.append(fake_result(value=2.5))
+    with pytest.raises(ValueError, match="two different results"):
+        ResultStore(tmp_path).load()
+
+
+# ----------------------------------------------------------------------
+# Torn and corrupted records
+# ----------------------------------------------------------------------
+
+
+def test_torn_final_line_is_skipped_not_fatal(tmp_path):
+    with ResultStore(tmp_path) as store:
+        store.append(fake_result("s/0"))
+        store.append(fake_result("s/1"))
+    truncate_store_tail(tmp_path, nbytes=20)  # parent died mid-append
+    store = ResultStore(tmp_path)
+    loaded = store.load()
+    assert set(loaded) == {"s/0"}
+    assert store.corrupt_records == 1
+    assert store.scenario_ids() == {"s/0"}
+
+
+def test_checksum_catches_bit_rot(tmp_path):
+    with ResultStore(tmp_path) as store:
+        store.append(fake_result("s/0"))
+        store.append(fake_result("s/1"))
+    assert corrupt_store_record(tmp_path, "s/1") == 1
+    store = ResultStore(tmp_path)
+    assert set(store.load()) == {"s/0"}
+    assert store.corrupt_records == 1
+
+
+def test_rerun_after_torn_record_restores_it(tmp_path):
+    result = fake_result("s/0")
+    with ResultStore(tmp_path) as store:
+        store.append(result)
+    truncate_store_tail(tmp_path)
+    assert ResultStore(tmp_path).scenario_ids() == set()
+    with ResultStore(tmp_path) as store:  # what resume does: re-run, append
+        store.append(result)
+    assert ResultStore(tmp_path).load() == {"s/0": result}
+
+
+# ----------------------------------------------------------------------
+# Manifest binding
+# ----------------------------------------------------------------------
+
+
+def test_bind_writes_then_verifies_manifest(tmp_path):
+    grid = small_grid()
+    store = ResultStore(tmp_path)
+    assert not ResultStore.is_initialized(tmp_path)
+    manifest = store.bind(list(grid))
+    assert ResultStore.is_initialized(tmp_path)
+    assert manifest["grid_fingerprint"] == grid_fingerprint(list(grid))
+    # Re-binding the same grid (a resume) is a no-op verification.
+    assert ResultStore(tmp_path).bind(list(grid)) == manifest
+
+
+def test_bind_rejects_a_different_grid(tmp_path):
+    store = ResultStore(tmp_path)
+    store.bind(list(small_grid()))
+    with pytest.raises(ValueError, match="different.*grid"):
+        ResultStore(tmp_path).bind(list(small_grid(seeds=3)))
+    with pytest.raises(ValueError, match="different.*grid"):
+        ResultStore(tmp_path).bind(list(small_grid(root_seed=1)))
+
+
+def test_fingerprint_is_order_free_and_shard_free():
+    scenarios = small_grid(seeds=3).scenarios()
+    assert grid_fingerprint(scenarios) == grid_fingerprint(scenarios[::-1])
+    assert grid_fingerprint(scenarios) != grid_fingerprint(scenarios[:-1])
+
+
+def test_unrecognized_manifest_is_rejected(tmp_path):
+    (tmp_path / "manifest.json").write_text(json.dumps({"format": "other"}))
+    with pytest.raises(ValueError, match="manifest"):
+        ResultStore(tmp_path).read_manifest()
+
+
+def test_writer_names_are_validated(tmp_path):
+    for bad in ("", "a/b", ".hidden"):
+        with pytest.raises(ValueError, match="writer"):
+            ResultStore(tmp_path, writer=bad)
+
+
+# ----------------------------------------------------------------------
+# Cross-store merge (the shard workflow)
+# ----------------------------------------------------------------------
+
+
+def test_ingest_merges_shard_stores(tmp_path):
+    grid = list(small_grid(seeds=2))
+    a, b = tmp_path / "host-a", tmp_path / "host-b"
+    store_a = ResultStore(a, writer="shard0of2")
+    store_b = ResultStore(b, writer="shard1of2")
+    store_a.bind(grid)
+    store_b.bind(grid)
+    result_0, result_1 = fake_result("s/0"), fake_result("s/1")
+    with store_a:
+        store_a.append(result_0)
+    with store_b:
+        store_b.append(result_1)
+    assert store_a.ingest(store_b) == 1
+    assert ResultStore(a).load() == {"s/0": result_0, "s/1": result_1}
+
+
+def test_ingest_keeps_failure_ledgers(tmp_path):
+    grid = list(small_grid())
+    a, b = tmp_path / "a", tmp_path / "b"
+    store_a, store_b = ResultStore(a, writer="w1"), ResultStore(b, writer="w2")
+    store_a.bind(grid)
+    store_b.bind(grid)
+    with store_b:
+        store_b.record_failure("s/9", 1, "timeout", "hung for 600s")
+    store_a.ingest(store_b)
+    assert ResultStore(a).failures() == [
+        {"scenario_id": "s/9", "attempt": 1, "kind": "timeout",
+         "detail": "hung for 600s"}
+    ]
+
+
+def test_ingest_renames_colliding_writer_files(tmp_path):
+    grid = list(small_grid())
+    a, b = tmp_path / "a", tmp_path / "b"
+    store_a, store_b = ResultStore(a), ResultStore(b)  # both writer="all"
+    store_a.bind(grid)
+    store_b.bind(grid)
+    result = fake_result()
+    with store_a:
+        store_a.append(result)
+    with store_b:
+        store_b.append(result)
+    assert store_a.ingest(store_b) == 1
+    names = {p.name for p in (a / "records").glob("*.jsonl")}
+    assert "all.jsonl" in names and len(names) == 2  # nothing clobbered
+    assert ResultStore(a).load() == {result.scenario_id: result}
+
+
+def test_ingest_rejects_stores_of_different_grids(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    store_a, store_b = ResultStore(a), ResultStore(b)
+    store_a.bind(list(small_grid()))
+    store_b.bind(list(small_grid(seeds=3)))
+    with pytest.raises(ValueError, match="different scenario grids"):
+        store_a.ingest(store_b)

@@ -7,13 +7,21 @@ and a failing scenario surfaces its scenario id, not a bare worker
 traceback.
 """
 
+import os
 import pickle
 import random
+import signal
 
 import pytest
 
 from repro.controller.factory import run_scenario
-from repro.parallel import ScenarioFailure, SweepRunner, run_sweep
+from repro.parallel import (
+    ScenarioFailure,
+    SweepRunner,
+    SweepWorkerLost,
+    default_workers,
+    run_sweep,
+)
 from repro.parallel.results import ScenarioResult, SweepReport
 from repro.workloads.grid import BackendSpec, GeometrySpec, PolicySpec, ScenarioGrid
 from repro.workloads.suites import WORKLOAD_SUITE
@@ -262,3 +270,113 @@ def test_guard_ignores_serial_threaded_and_single_process_executors():
         # pool proves acceptance, and the report proves execution.
         report = SweepRunner(workers=2).run(grid)
         assert len(report.results) == 2
+
+
+# ----------------------------------------------------------------------
+# Worker loss, env parsing, and the spawn start method
+# ----------------------------------------------------------------------
+
+
+def _die_or_square(x):
+    if x == "die":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def test_sigkilled_map_worker_raises_worker_lost_not_hang():
+    """A SIGKILL'd pool worker used to stall the sweep forever (a plain
+    multiprocessing.Pool never detects the death); now it raises a
+    SweepWorkerLost naming every label still unaccounted for."""
+    with pytest.raises(SweepWorkerLost) as excinfo:
+        SweepRunner(workers=2).map(
+            _die_or_square, [1, "die", 2, 3], labels=["a", "die", "b", "c"]
+        )
+    lost = excinfo.value
+    assert "die" in lost.scenario_ids
+    assert set(lost.scenario_ids) <= {"a", "die", "b", "c"}
+    assert lost.scenario_id in lost.scenario_ids  # base-class anchor
+    assert "died without reporting" in str(lost)
+    # It is a ScenarioFailure subclass: existing handlers keep working.
+    assert isinstance(lost, ScenarioFailure)
+
+
+def test_crashed_scenario_worker_names_unfinished_scenarios():
+    """End-to-end through run(): a worker hard-crashing mid-scenario
+    (os._exit — what an OOM kill looks like) surfaces the in-flight
+    scenario ids instead of hanging the sweep."""
+    from repro.testing.faults import FaultSpec, injected_faults
+
+    grid = counter_grid()
+    target = grid.scenarios()[0].scenario_id
+    with injected_faults(FaultSpec("crash", None, target)):
+        with pytest.raises(SweepWorkerLost) as excinfo:
+            SweepRunner(workers=2).run(grid)
+    assert target in excinfo.value.scenario_ids
+
+
+def test_worker_lost_pickles_across_process_boundary():
+    lost = SweepWorkerLost(("grid/a", "grid/b"), "exit code -9")
+    clone = pickle.loads(pickle.dumps(lost))
+    assert clone.scenario_ids == ("grid/a", "grid/b")
+    assert clone.scenario_id == "grid/a"
+    assert "exit code -9" in str(clone)
+
+
+def test_sweep_workers_env_rejects_non_integers(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+    with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS"):
+        default_workers()
+    monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+    assert default_workers() == 3
+
+
+def test_executor_workers_env_rejects_non_integers(monkeypatch):
+    from repro.controller.executor import default_executor_workers
+
+    monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "4.5")
+    with pytest.raises(ValueError, match="REPRO_EXECUTOR_WORKERS"):
+        default_executor_workers()
+    monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "2")
+    assert default_executor_workers() == 2
+
+
+def test_scenario_failure_round_trips_under_spawn(monkeypatch):
+    """Under the spawn start method every boundary crossing pickles —
+    the scenario out, the ScenarioFailure back.  The failure must
+    arrive intact, still naming its scenario id."""
+    import multiprocessing
+
+    import repro.parallel.runner as runner_module
+
+    monkeypatch.setattr(
+        runner_module,
+        "_pool_context",
+        lambda: multiprocessing.get_context("spawn"),
+    )
+    bad = ScenarioGrid(
+        workloads=(WORKLOAD_SUITE["web_0"],),
+        geometries=(GeometrySpec(blocks=32, pages_per_block=32), SMALL_GEOMETRY),
+        duration_days=0.01,
+    )
+    expected_id = "web_0/d0.01/32x32/baseline/counter/s0"
+    with pytest.raises(ScenarioFailure) as excinfo:
+        SweepRunner(workers=2).run(bad)
+    assert excinfo.value.scenario_id == expected_id
+
+
+def test_spawn_sweep_matches_fork_report(monkeypatch):
+    """Start method is an implementation detail: spawn workers rebuild
+    everything from the pickled scenario and report identical bits."""
+    import multiprocessing
+
+    import repro.parallel.runner as runner_module
+
+    grid = counter_grid(seeds=1)
+    fork_report = SweepRunner(workers=2).run(grid)
+    monkeypatch.setattr(
+        runner_module,
+        "_pool_context",
+        lambda: multiprocessing.get_context("spawn"),
+    )
+    spawn_report = SweepRunner(workers=2).run(grid)
+    assert spawn_report.results == fork_report.results

@@ -72,6 +72,42 @@ def test_executor_flags():
         build_grid(_args("--executor-workers", "3"))
 
 
+def test_cli_campaign_runs_and_resumes(capsys, tmp_path):
+    """End-to-end: --campaign lands results durably, a rerun with
+    --resume skips them, and --serial-check pins bit-identity."""
+    store = tmp_path / "store"
+    argv = [
+        "--workloads", "web_0",
+        "--days", "0.01",
+        "--blocks", "64", "--pages-per-block", "64",
+        "--seeds", "2",
+        "--campaign", str(store),
+        "--on-failure", "retry:1",
+        "--serial-check",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "campaign over 2 scenario(s)" in out
+    assert "serial check" in out
+    # Rerunning without --resume refuses to touch the existing store.
+    with pytest.raises(SystemExit, match="--resume"):
+        main(argv)
+    assert main(argv + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed: 2 scenario(s)" in out
+
+
+def test_cli_campaign_flag_dependencies(tmp_path):
+    with pytest.raises(SystemExit, match="--campaign"):
+        main(["--resume"])
+    with pytest.raises(SystemExit, match="--campaign"):
+        main(["--shard", "0/2"])
+    with pytest.raises(SystemExit, match="shard"):
+        main(["--campaign", str(tmp_path / "s"), "--shard", "2/2"])
+    with pytest.raises(SystemExit, match="failure policy"):
+        main(["--campaign", str(tmp_path / "s"), "--on-failure", "panic"])
+
+
 def test_cli_runs_a_multi_cell_ablation(capsys, tmp_path):
     """End-to-end: a reclaim ablation grid through the runner and out as
     JSON, with --serial-check asserting parallel ≡ serial."""

@@ -156,6 +156,36 @@ def test_spilled_trace_reloads_bit_exact_instead_of_regenerating(
         reloaded.lpns[0] = 99
 
 
+def test_truncated_spill_file_regenerates_instead_of_crashing(disk_tier):
+    """A spill file torn by a killed process (or bit rot) must never
+    poison later runs: the bad file is dropped and the trace
+    regenerated — bit-identical, since generation is deterministic."""
+    original = generated_trace(_spec("web_0"), 0.01, 3)
+    kept = original.lpns.copy()
+    # Evict web_0 so its only copy is the spill file, then tear every
+    # spill mid-write.
+    generated_trace(_spec("prxy_0"), 0.01, 3)
+    generated_trace(_spec("webmail"), 0.01, 3)
+    spilled = sorted(disk_tier.glob("trace-*.npz"))
+    assert spilled
+    for path in spilled:
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+    reloaded = generated_trace(_spec("web_0"), 0.01, 3)
+    assert np.array_equal(reloaded.lpns, kept)
+
+
+def test_unreadable_spill_is_deleted_on_probe(disk_tier):
+    generated_trace(_spec("web_0"), 0.01, 3)
+    generated_trace(_spec("prxy_0"), 0.01, 3)
+    generated_trace(_spec("webmail"), 0.01, 3)
+    # Exactly one spill exists: the LRU-evicted web_0 trace.
+    [spill] = list(disk_tier.glob("trace-*.npz"))
+    spill.write_bytes(b"not an npz at all")
+    generated_trace(_spec("web_0"), 0.01, 3)  # must not raise
+    assert not spill.exists()  # the garbage file is gone, not retried
+
+
 def test_disk_tier_disabled_means_no_spill(tmp_path, monkeypatch):
     monkeypatch.setattr(trace_cache, "MAX_CACHED_TRACES", 1)
     generated_trace(_spec("web_0"), 0.01, 0)

@@ -1,0 +1,116 @@
+"""CI smoke: a campaign survives worker crashes and a parent SIGKILL.
+
+Drives the real ``python -m repro.sweep --campaign`` CLI end to end
+through the full recovery story, deterministically:
+
+1. Launch a small campaign with two faults armed through the
+   :mod:`repro.testing.faults` env hooks: scenario *k* hard-crashes its
+   first attempt (``--on-failure retry:2`` must retry it), and the last
+   scenario hangs forever (so the parent is provably mid-campaign).
+2. Poll the result store until every non-hung scenario has landed
+   durably, then SIGKILL the campaign's whole process group — the
+   unceremonious end of a host.
+3. Re-run the same CLI command with ``--resume`` and no faults armed,
+   plus ``--serial-check``: the resumed campaign must complete only the
+   missing scenario and the merged report must be bit-identical to the
+   uninterrupted in-process serial reference.
+
+Exit code 0 means the whole story held, including the crash attempt
+being visible in the store's failure ledger.
+
+Run from the repo root: ``PYTHONPATH=src python tools/campaign_smoke.py``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.parallel.store import ResultStore  # noqa: E402
+from repro.testing.faults import ENV_FAULTS, ENV_STATE  # noqa: E402
+from repro.workloads.grid import GeometrySpec, ScenarioGrid  # noqa: E402
+from repro.workloads.suites import WORKLOAD_SUITE  # noqa: E402
+
+SEEDS = 3
+ARGV = [
+    sys.executable, "-m", "repro.sweep",
+    "--workloads", "web_0",
+    "--seeds", str(SEEDS),
+    "--days", "0.02",
+    "--blocks", "64", "--pages-per-block", "64",
+    "--on-failure", "retry:2",
+    "--workers", "2",
+    "--resume",
+]
+
+
+def scenario_ids() -> list[str]:
+    grid = ScenarioGrid(
+        workloads=(WORKLOAD_SUITE["web_0"],),
+        geometries=(GeometrySpec(blocks=64, pages_per_block=64),),
+        seeds=SEEDS,
+        duration_days=0.02,
+    )
+    return [s.scenario_id for s in grid]
+
+
+def main() -> int:
+    ids = scenario_ids()
+    crash_target, hang_target = ids[1], ids[-1]
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "store"
+        env = dict(
+            os.environ,
+            **{
+                ENV_FAULTS: f"crash:1:{crash_target};hang:*:{hang_target}",
+                ENV_STATE: str(Path(tmp) / "faults"),
+            },
+        )
+        print(f"[1/3] campaign with crash@{crash_target} hang@{hang_target}")
+        process = subprocess.Popen(
+            ARGV + ["--campaign", str(store)],
+            env=env,
+            start_new_session=True,
+        )
+        try:
+            deadline = time.monotonic() + 300
+            expected = set(ids) - {hang_target}
+            while ResultStore(store).scenario_ids() != expected:
+                if process.poll() is not None:
+                    print("FAIL: campaign exited before the kill")
+                    return 1
+                if time.monotonic() > deadline:
+                    print("FAIL: campaign made no progress before the kill")
+                    return 1
+                time.sleep(0.2)
+        finally:
+            try:
+                os.killpg(process.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            process.wait()
+        print(f"[2/3] SIGKILL'd campaign with {len(expected)}/{len(ids)} stored")
+        ledger = ResultStore(store).failures()
+        if not any(entry["kind"] == "worker-death" for entry in ledger):
+            print(f"FAIL: injected crash not in the failure ledger: {ledger}")
+            return 1
+        print("[3/3] resume without faults, with --serial-check")
+        resumed = subprocess.run(ARGV + ["--campaign", str(store), "--serial-check"])
+        if resumed.returncode != 0:
+            print("FAIL: resumed campaign (or its serial check) failed")
+            return 1
+        stored = ResultStore(store).scenario_ids()
+        if stored != set(ids):
+            print(f"FAIL: resumed store incomplete: {sorted(stored)}")
+            return 1
+    print("campaign kill-and-resume smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

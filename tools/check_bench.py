@@ -57,6 +57,14 @@ REQUIRED_KEYS = {
     "sweep_parallel": ["cpu_count", "seconds_workers_1"],
     "intra_scenario": ["cpu_count", "seconds_serial", "serial_ops_per_sec"],
     "process_executor": ["cpu_count", "seconds_serial", "serial_ops_per_sec"],
+    # No floor on the append rate (fsync latency is filesystem-dependent)
+    # — the gate only demands the durability-overhead row keeps being
+    # recorded alongside the ratio the README quotes.
+    "campaign_store": [
+        "appends_per_second",
+        "campaign_overhead_ratio",
+        "scenarios",
+    ],
 }
 
 

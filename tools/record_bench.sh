@@ -31,6 +31,7 @@ PYTHONPATH=src python -m pytest \
     benchmarks/bench_sweep_parallel.py \
     benchmarks/bench_intra_scenario.py \
     benchmarks/bench_process_executor.py \
+    benchmarks/bench_campaign_store.py \
     -o python_functions='bench_*' -q "$@"
 
 python tools/check_bench.py
