@@ -29,11 +29,19 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.rng import RngFactory
+from repro.rng import RngFactory, spawn_key
 from repro.units import VPASS_NOMINAL
 from repro.core.rdr import RdrConfig, ReadDisturbRecovery
 from repro.ecc import DEFAULT_ECC, EccConfig, EccDecoder
 from repro.ecc.decoder import BatchDecodeResult
+from repro.ecc.fault_model import (
+    PATTERN_CLEAN,
+    PATTERN_NAMES,
+    FaultSpec,
+    classify_symbol_errors,
+    inject_faults,
+    parse_fault_spec,
+)
 from repro.flash.arena import ARENA_BACKINGS, BlockStore
 from repro.flash.block import FlashBlock
 from repro.flash.geometry import FlashGeometry
@@ -204,6 +212,12 @@ class BlockReadOutcome:
     block_id: int
     checked: np.ndarray
     decode: BatchDecodeResult | None
+    #: per-checked-page injected-fault flags (None without an injector).
+    injected: np.ndarray | None = None
+    #: per-checked-page fault-pattern codes (:mod:`repro.ecc.fault_model`),
+    #: computed only for pages that failed or miscorrected; None when the
+    #: task ran on the count-only path or nothing needed classifying.
+    patterns: np.ndarray | None = None
 
 
 class FlashChipBackend:
@@ -269,6 +283,7 @@ class FlashChipBackend:
         executor: str | BlockGroupExecutor = "serial",
         arena: str | None = None,
         resident_blocks: int | None = None,
+        fault_pattern: str | FaultSpec | None = None,
     ):
         if bitlines_per_block < 1:
             raise ValueError("need at least one bitline per block")
@@ -278,6 +293,13 @@ class FlashChipBackend:
         self.initial_pe_cycles = int(initial_pe_cycles)
         self.vpass = float(vpass)
         self.decoder = EccDecoder(ecc)
+        #: structured fault injection overlaid on sensed error masks
+        #: (:mod:`repro.ecc.fault_model`); None injects nothing.
+        self.fault_spec: FaultSpec | None = (
+            parse_fault_spec(fault_pattern)
+            if isinstance(fault_pattern, str)
+            else fault_pattern
+        )
         # Capability of the RDR rescue judgement (a wordline holds two
         # pages) — resolved once per backend instead of per escalation.
         self._wordline_capability = self.decoder.config.page_capability_bits(
@@ -337,6 +359,14 @@ class FlashChipBackend:
         self.rdr_recovered = 0
         self.data_loss_events = 0
         self.corrected_bits = 0
+        # Decode-quality accounting (always reported; the threshold
+        # decoder without fault injection legitimately keeps them zero).
+        self.miscorrected_pages = 0
+        self.injected_faults = 0
+        #: taxonomy histogram of pages that failed decode or miscorrected.
+        self.fault_patterns = {
+            name: 0 for name in PATTERN_NAMES if name != "clean"
+        }
 
     # ------------------------------------------------------------------
     # Engine protocol
@@ -579,8 +609,34 @@ class FlashChipBackend:
         in_block = task.pages[fb.programmed[task.wordlines]]
         if in_block.size == 0:
             return BlockReadOutcome(task.block_id, in_block, None)
-        decode = self.decoder.check_pages(fb, in_block, now, self.vpass)
-        return BlockReadOutcome(task.block_id, in_block, decode)
+        if self.fault_spec is None and self.decoder.kind == "threshold":
+            # Count-only fast path: the exact pre-RS semantics.
+            decode = self.decoder.check_pages(fb, in_block, now, self.vpass)
+            return BlockReadOutcome(task.block_id, in_block, decode)
+        # Position path: the RS engine (and any fault injector) needs the
+        # raw error masks, not just counts.  Same fused sensing kernel,
+        # same disturb accounting.
+        masks = fb.page_error_masks(in_block, now, vpass=self.vpass)
+        injected = None
+        if self.fault_spec is not None:
+            # Spawn-keyed off per-block state only (the post-record read
+            # total), so injection is bit-identical across serial,
+            # threaded, and process executors.
+            rng = np.random.default_rng(
+                spawn_key(self.seed, "fault", task.block_id, fb.total_reads)
+            )
+            injected = inject_faults(masks, self.fault_spec, rng)
+        decode = self.decoder.decode_error_masks(masks)
+        need = ~decode.success
+        miscorrected = getattr(decode, "miscorrected", None)
+        if miscorrected is not None:
+            need = need | miscorrected
+        patterns = None
+        if need.any():
+            symbols = np.packbits(masks[need].astype(np.uint8), axis=1)
+            patterns = np.zeros(in_block.size, dtype=np.int8)
+            patterns[need] = classify_symbol_errors(symbols)
+        return BlockReadOutcome(task.block_id, in_block, decode, injected, patterns)
 
     def _merge_outcomes(
         self,
@@ -602,14 +658,16 @@ class FlashChipBackend:
             if outcome.decode is None:
                 continue
             failures = np.flatnonzero(~outcome.decode.success)
+            counted = outcome.checked.size if failures.size == 0 else int(failures[0])
+            self.pages_checked += counted + (0 if failures.size == 0 else 1)
+            self.corrected_bits += int(outcome.decode.raw_errors[:counted].sum())
+            self._account_decode_quality(outcome, counted)
             if failures.size == 0:
-                self.pages_checked += outcome.checked.size
-                self.corrected_bits += int(outcome.decode.raw_errors.sum())
                 continue
             first = int(failures[0])
-            self.pages_checked += first + 1
-            self.corrected_bits += int(outcome.decode.raw_errors[:first].sum())
             self.uncorrectable_pages += 1
+            if outcome.patterns is not None:
+                self._count_pattern(int(outcome.patterns[first]))
             # The block is queued for relocation; pages after the failure
             # are skipped this flush, as their data is being remapped.
             self._escalate(
@@ -618,6 +676,28 @@ class FlashChipBackend:
                 now,
                 rescued_wordlines,
             )
+
+    def _account_decode_quality(self, outcome: BlockReadOutcome, counted: int) -> None:
+        """Fold one outcome's miscorrection/injection data into counters.
+
+        *counted* is the number of successfully accounted pages (up to
+        the first failure); the failing page itself is accounted by the
+        caller, except its injection flag which is included here.
+        """
+        miscorrected = getattr(outcome.decode, "miscorrected", None)
+        if miscorrected is not None:
+            for index in np.flatnonzero(miscorrected[:counted]):
+                self.miscorrected_pages += 1
+                if outcome.patterns is not None:
+                    self._count_pattern(int(outcome.patterns[index]))
+        if outcome.injected is not None:
+            # Include the failing page (it was checked) when one exists.
+            upto = min(counted + 1, outcome.injected.size)
+            self.injected_faults += int(outcome.injected[:upto].sum())
+
+    def _count_pattern(self, code: int) -> None:
+        if code != PATTERN_CLEAN:
+            self.fault_patterns[PATTERN_NAMES[code]] += 1
 
     def drain_relocations(self) -> list[int]:
         pending, self._pending_relocations = self._pending_relocations, []
@@ -650,6 +730,9 @@ class FlashChipBackend:
             "pages_checked": self.pages_checked,
             "corrected_bits": self.corrected_bits,
             "uncorrectable_pages": self.uncorrectable_pages,
+            "miscorrected_pages": self.miscorrected_pages,
+            "injected_faults": self.injected_faults,
+            "fault_patterns": dict(self.fault_patterns),
             "rdr_attempts": self.rdr_attempts,
             "rdr_recovered": self.rdr_recovered,
             "data_loss_events": self.data_loss_events,

@@ -1,25 +1,53 @@
-"""Error-correcting code model.
+"""Error-correcting code models.
 
-The mechanisms in the paper only interact with ECC through two numbers:
-how many raw bit errors a codeword can correct, and how many errors a read
-actually contained.  A binomial threshold model captures this exactly; no
-Galois-field arithmetic is needed (and the paper's BCH internals are not
-part of its contribution).
+Two engines share one batch API (`EccDecoder.decode_pages` /
+`check_pages`), selected by ``EccConfig.decoder``:
+
+- ``"threshold"`` (default) — the binomial capability model: the
+  mechanisms in the paper interact with ECC through two numbers, how
+  many raw bit errors a codeword can correct and how many a read
+  actually contained.
+- ``"rs"`` — a real symbol-level Reed-Solomon codec over GF(256)
+  (:mod:`repro.ecc.gf256`, :mod:`repro.ecc.rs`): batched syndromes,
+  Berlekamp-Massey, Chien search, and Forney over the simulator's raw
+  bit-error masks.  It measures what the threshold model can only
+  assume — miscorrection (silent data corruption) and the burst-vs-
+  scattered sensitivity classified by :mod:`repro.ecc.fault_model`.
 """
 
-from repro.ecc.config import EccConfig, DEFAULT_ECC
+from repro.ecc.config import EccConfig, DEFAULT_ECC, DECODER_KINDS
 from repro.ecc.decoder import (
     BatchDecodeResult,
     DecodeResult,
     EccDecoder,
+    RsBatchDecodeResult,
+    RsDecodeResult,
     UncorrectableError,
 )
+from repro.ecc.fault_model import (
+    FaultSpec,
+    classify_symbol_errors,
+    inject_faults,
+    parse_fault_spec,
+    pattern_counts,
+)
+from repro.ecc.rs import RsCode, RsPageDecoder
 
 __all__ = [
     "EccConfig",
     "DEFAULT_ECC",
+    "DECODER_KINDS",
     "BatchDecodeResult",
     "DecodeResult",
     "EccDecoder",
+    "RsBatchDecodeResult",
+    "RsDecodeResult",
     "UncorrectableError",
+    "RsCode",
+    "RsPageDecoder",
+    "FaultSpec",
+    "classify_symbol_errors",
+    "inject_faults",
+    "parse_fault_spec",
+    "pattern_counts",
 ]

@@ -19,15 +19,30 @@ from scipy.stats import binom, poisson
 
 from repro.physics import constants
 
+#: Decoder engines selectable on :attr:`EccConfig.decoder`.
+DECODER_KINDS = ("threshold", "rs")
+
 
 @dataclass(frozen=True)
 class EccConfig:
-    """Provisioned ECC strength plus the paper's reserved-margin policy."""
+    """Provisioned ECC strength plus the paper's reserved-margin policy.
+
+    ``decoder`` selects the engine :class:`~repro.ecc.decoder.EccDecoder`
+    runs: the binomial ``"threshold"`` model (default) or the real
+    ``"rs"`` symbol codec, whose code rate is ``rs_n``/``rs_k`` (total /
+    data symbols per GF(256) codeword; ``t = (rs_n - rs_k) // 2`` symbol
+    errors correctable).  The provisioning math above the engines
+    (tolerable RBER, page capability, reserved margin) is shared — RDR
+    and the Vpass tuner budget in raw bits regardless of decoder.
+    """
 
     codeword_bits: int = constants.ECC_CODEWORD_BITS
     correctable_bits: int = constants.ECC_T_BITS
     reserved_margin_fraction: float = constants.ECC_RESERVED_MARGIN_FRACTION
     codeword_failure_target: float = 1e-13
+    decoder: str = "threshold"
+    rs_n: int = 255
+    rs_k: int = 223
 
     def __post_init__(self) -> None:
         if self.codeword_bits <= 0 or self.correctable_bits <= 0:
@@ -38,6 +53,26 @@ class EccConfig:
             raise ValueError("reserved margin fraction must be in [0, 1)")
         if not 0.0 < self.codeword_failure_target < 1.0:
             raise ValueError("failure target must be a probability")
+        if self.decoder not in DECODER_KINDS:
+            raise ValueError(
+                f"decoder must be one of {DECODER_KINDS}, got {self.decoder!r}"
+            )
+        # Mirror RsCode's constraints here so a bad spec fails at config
+        # construction (the sweep grid validates specs without building
+        # decoders).
+        if not 3 <= self.rs_n <= 255:
+            raise ValueError(f"rs_n must be in [3, 255], got {self.rs_n}")
+        if not 1 <= self.rs_k < self.rs_n:
+            raise ValueError(f"rs_k must be in [1, rs_n), got {self.rs_k}")
+        if (self.rs_n - self.rs_k) % 2:
+            raise ValueError(
+                f"rs_n - rs_k must be even, got n={self.rs_n} k={self.rs_k}"
+            )
+
+    @property
+    def rs_t(self) -> int:
+        """Correctable symbol errors per RS codeword."""
+        return (self.rs_n - self.rs_k) // 2
 
     @property
     def raw_capability_rber(self) -> float:

@@ -732,6 +732,62 @@ class FlashBlock:
         pages = np.asarray(pages, dtype=np.int64)
         if pages.size == 0:
             return np.zeros(0, dtype=np.int64)
+        wordlines, inverse, errors_lsb, errors_msb = self._page_error_flags(
+            pages, now, references, vpass
+        )
+        per_wordline = np.empty((errors_lsb.shape[0], 2), dtype=np.int64)
+        per_wordline[:, 0] = np.count_nonzero(errors_lsb, axis=1)
+        per_wordline[:, 1] = np.count_nonzero(errors_msb, axis=1)
+        counts = per_wordline[inverse, pages % 2]
+        if record_disturb:
+            self.record_reads(wordlines, np.ones(wordlines.size, dtype=np.int64), vpass)
+        return counts
+
+    def page_error_masks(
+        self,
+        pages: np.ndarray,
+        now: float = 0.0,
+        references: ReadReferences = DEFAULT_REFERENCES,
+        vpass: float = VPASS_NOMINAL,
+        record_disturb: bool = False,
+    ) -> np.ndarray:
+        """Batched raw bit-error *positions*: ``(pages, bitlines)`` bool.
+
+        The position-level companion of :meth:`page_error_counts` for
+        decoders that need more than a count (the RS engine decodes the
+        mask as a received word).  Both methods share one fused
+        sense-and-compare kernel, so
+        ``page_error_masks(...).sum(axis=1) == page_error_counts(...)``
+        bit-for-bit, under the same disturb-recording and ``(now,
+        voltage_epoch)`` cache contract.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return np.zeros((0, self.geometry.bitlines_per_block), dtype=bool)
+        wordlines, inverse, errors_lsb, errors_msb = self._page_error_flags(
+            pages, now, references, vpass
+        )
+        masks = np.empty((pages.size, self.geometry.bitlines_per_block), dtype=bool)
+        lsb = pages % 2 == 0
+        masks[lsb] = errors_lsb[inverse[lsb]]
+        masks[~lsb] = errors_msb[inverse[~lsb]]
+        if record_disturb:
+            self.record_reads(wordlines, np.ones(wordlines.size, dtype=np.int64), vpass)
+        return masks
+
+    def _page_error_flags(
+        self,
+        pages: np.ndarray,
+        now: float,
+        references: ReadReferences,
+        vpass: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused sense-and-compare shared by the count and mask paths.
+
+        Returns ``(wordlines, inverse, errors_lsb, errors_msb)`` — the
+        per-unique-wordline boolean error matrices for both page kinds,
+        one voltage materialization total.
+        """
         if pages.min() < 0 or pages.max() >= self.geometry.pages_per_block:
             raise IndexError("page out of range in batched error count")
         wordlines = pages // 2
@@ -760,13 +816,7 @@ class FlashBlock:
             # its error flag is just the expected bit (or its complement).
             np.copyto(errors_lsb, expected_lsb.astype(bool), where=cutoff)
             np.copyto(errors_msb, expected_msb == 0, where=cutoff)
-        per_wordline = np.empty((unique_wordlines.size, 2), dtype=np.int64)
-        per_wordline[:, 0] = np.count_nonzero(errors_lsb, axis=1)
-        per_wordline[:, 1] = np.count_nonzero(errors_msb, axis=1)
-        counts = per_wordline[inverse, pages % 2]
-        if record_disturb:
-            self.record_reads(wordlines, np.ones(wordlines.size, dtype=np.int64), vpass)
-        return counts
+        return wordlines, inverse, errors_lsb, errors_msb
 
     def measure_block_rber(
         self,

@@ -133,6 +133,18 @@ class BackendSpec:
     executor: str = "serial"
     arena: str | None = None
     resident_blocks: int | None = None
+    #: ECC engine: "threshold" (capability count) or "rs" (the GF(256)
+    #: Reed-Solomon codec; see :mod:`repro.ecc`).  A *physics* knob —
+    #: unlike the executor it changes results, so it enters the label.
+    decoder: str = "threshold"
+    #: RS code rate (total / data symbols per codeword); only meaningful
+    #: (and only validated strictly) with ``decoder="rs"``.
+    rs_n: int = 255
+    rs_k: int = 223
+    #: structured fault-injection axis ("burst2:1e-3", "scatter4:1e-3",
+    #: see :func:`repro.ecc.fault_model.parse_fault_spec`); None injects
+    #: nothing.
+    fault_pattern: str | None = None
 
     _KINDS = ("counter", "flash_chip")
 
@@ -141,6 +153,32 @@ class BackendSpec:
             raise ValueError(
                 f"unknown backend kind {self.kind!r}; expected one of {self._KINDS}"
             )
+        if self.decoder not in ("threshold", "rs"):
+            raise ValueError(
+                f"unknown decoder {self.decoder!r}; expected 'threshold' or 'rs'"
+            )
+        # Mirror RsCode's constraints (repro.ecc.rs) without importing
+        # the scipy-backed config module at grid-build time.
+        if not 3 <= self.rs_n <= 255:
+            raise ValueError(f"rs_n must be in [3, 255], got {self.rs_n}")
+        if not 1 <= self.rs_k < self.rs_n:
+            raise ValueError(f"rs_k must be in [1, rs_n), got {self.rs_k}")
+        if (self.rs_n - self.rs_k) % 2:
+            raise ValueError(
+                f"rs_n - rs_k must be even, got n={self.rs_n} k={self.rs_k}"
+            )
+        if self.decoder != "rs" and (
+            _non_default(self, "rs_n") or _non_default(self, "rs_k")
+        ):
+            raise ValueError("rs_n/rs_k require decoder='rs'")
+        if self.decoder != "threshold" and self.kind != "flash_chip":
+            raise ValueError("decoder='rs' needs the flash_chip backend")
+        if self.fault_pattern is not None:
+            if self.kind != "flash_chip":
+                raise ValueError("fault_pattern needs the flash_chip backend")
+            from repro.ecc.fault_model import parse_fault_spec
+
+            parse_fault_spec(self.fault_pattern)
         # Validate the executor spec shape here, at grid construction,
         # without importing the controller layer (which imports this
         # package); repro.controller.executor.parse_executor_spec is the
@@ -181,6 +219,10 @@ class BackendSpec:
             label += f"-vp{self.vpass:g}"
         if not self.enable_rdr:
             label += "-nordr"
+        if _non_default(self, "decoder"):
+            label += f"-{self.decoder}{self.rs_n}.{self.rs_k}"
+        if self.fault_pattern is not None:
+            label += f"-f{self.fault_pattern}"
         return label
 
 

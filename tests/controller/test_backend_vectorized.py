@@ -105,6 +105,9 @@ GOLDEN_BATCHED = {
         "pages_checked": 18472,
         "corrected_bits": 329,
         "uncorrectable_pages": 0,
+        "miscorrected_pages": 0,
+        "injected_faults": 0,
+        "fault_patterns": {"single": 0, "burst2": 0, "burst4": 0, "scattered": 0},
         "rdr_attempts": 0,
         "rdr_recovered": 0,
         "data_loss_events": 0,
@@ -115,6 +118,9 @@ GOLDEN_BATCHED = {
         "pages_checked": 16930,
         "corrected_bits": 2750,
         "uncorrectable_pages": 138,
+        "miscorrected_pages": 0,
+        "injected_faults": 0,
+        "fault_patterns": {"single": 0, "burst2": 0, "burst4": 0, "scattered": 0},
         "rdr_attempts": 138,
         "rdr_recovered": 0,
         "data_loss_events": 138,
@@ -127,6 +133,9 @@ GOLDEN_SERIAL_WORN = {
     "pages_checked": 7739,
     "corrected_bits": 1357,
     "uncorrectable_pages": 51,
+    "miscorrected_pages": 0,
+    "injected_faults": 0,
+    "fault_patterns": {"single": 0, "burst2": 0, "burst4": 0, "scattered": 0},
     "rdr_attempts": 51,
     "rdr_recovered": 0,
     "data_loss_events": 51,

@@ -1,0 +1,75 @@
+"""Slow pure-Python Reed-Solomon reference: tables-free, loop-per-symbol.
+
+This is the executable specification the vectorized engine
+(:mod:`repro.ecc.rs`) is pinned against: same field (0x11D, generator
+alpha = 2), same convention (systematic, data-first, roots alpha^1 ..
+alpha^2t), written as textbook scalar loops with a carry-less multiply —
+no shared code, no shared tables, so a table-generation bug cannot hide.
+"""
+
+from __future__ import annotations
+
+PRIMITIVE_POLY = 0x11D
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Carry-less GF(256) product."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= PRIMITIVE_POLY
+        b >>= 1
+    return result
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    result = 1
+    for _ in range(exponent):
+        result = gf_mul(result, base)
+    return result
+
+
+def alpha_pow(exponent: int) -> int:
+    return gf_pow(2, exponent % 255)
+
+
+def generator_poly(nparity: int) -> list[int]:
+    """prod_{i=1..nparity} (x + alpha^i), ascending coefficients."""
+    poly = [1]
+    for i in range(1, nparity + 1):
+        root = alpha_pow(i)
+        nxt = [0] * (len(poly) + 1)
+        for degree, coeff in enumerate(poly):
+            nxt[degree] ^= gf_mul(coeff, root)
+            nxt[degree + 1] ^= coeff
+        poly = nxt
+    return poly
+
+
+def encode(data: list[int], n: int, k: int) -> list[int]:
+    """Systematic RS encode of one codeword via polynomial long division."""
+    assert len(data) == k
+    nparity = n - k
+    gen = generator_poly(nparity)[::-1]  # descending, monic lead first
+    remainder = list(data) + [0] * nparity
+    for i in range(k):
+        factor = remainder[i]
+        if factor:
+            for j, coeff in enumerate(gen):
+                remainder[i + j] ^= gf_mul(factor, coeff)
+    return list(data) + remainder[k:]
+
+
+def syndromes(word: list[int], nparity: int) -> list[int]:
+    """S_i = word(alpha^i) for i = 1..nparity, word data-first."""
+    n = len(word)
+    out = []
+    for i in range(1, nparity + 1):
+        acc = 0
+        for j, symbol in enumerate(word):
+            acc ^= gf_mul(symbol, alpha_pow(i * (n - 1 - j)))
+        out.append(acc)
+    return out

@@ -1,0 +1,156 @@
+"""Fault-spec grammar, deterministic injection, and the pattern taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.fault_model import (
+    PATTERN_BURST2,
+    PATTERN_BURST4,
+    PATTERN_CLEAN,
+    PATTERN_NAMES,
+    PATTERN_SCATTERED,
+    PATTERN_SINGLE,
+    FaultSpec,
+    classify_symbol_errors,
+    inject_faults,
+    parse_fault_spec,
+    pattern_counts,
+)
+
+
+def test_parse_roundtrips_through_label():
+    for text in ("burst1:0.5", "burst2:0.001", "burst4:1e-3", "scatter6:0.25"):
+        spec = parse_fault_spec(text)
+        assert parse_fault_spec(spec.label) == spec
+
+
+def test_parse_fields():
+    spec = parse_fault_spec("burst2:0.125")
+    assert (spec.kind, spec.size, spec.rate) == ("burst", 2, 0.125)
+    spec = parse_fault_spec(" scatter4:1e-2 ")
+    assert (spec.kind, spec.size, spec.rate) == ("scatter", 4, 0.01)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "burst2", "burst2:", "clump2:0.5", "burst3:0.5", "burst2:0", "burst2:1.5", "scatter0:0.5"],
+)
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        parse_fault_spec(bad)
+
+
+def test_spec_validation_messages():
+    with pytest.raises(ValueError, match="burst width"):
+        FaultSpec("burst", 3, 0.5)
+    with pytest.raises(ValueError, match="scatter count"):
+        FaultSpec("scatter", 0, 0.5)
+    with pytest.raises(ValueError, match="rate"):
+        FaultSpec("burst", 2, 0.0)
+    with pytest.raises(ValueError, match="burst|scatter"):
+        FaultSpec("clump", 2, 0.5)
+
+
+def test_injection_is_deterministic_for_fixed_generator_state():
+    spec = parse_fault_spec("burst4:0.4")
+    runs = []
+    for _ in range(2):
+        masks = np.zeros((32, 256), dtype=bool)
+        hit = inject_faults(masks, spec, np.random.default_rng(909))
+        runs.append((masks.copy(), hit.copy()))
+    assert np.array_equal(runs[0][0], runs[1][0])
+    assert np.array_equal(runs[0][1], runs[1][1])
+    assert runs[0][1].any()
+
+
+def test_burst_injection_hits_one_aligned_window():
+    spec = parse_fault_spec("burst2:1")
+    masks = np.zeros((50, 256), dtype=bool)
+    hit = inject_faults(masks, spec, np.random.default_rng(3))
+    assert hit.all()
+    symbols = np.packbits(masks, axis=1)
+    for row in symbols:
+        errors = np.flatnonzero(row)
+        # Every error symbol lies in a single aligned 2-symbol window,
+        # and every symbol of the window is corrupted (nonzero byte).
+        assert 1 <= errors.size <= 2
+        assert errors[0] // 2 == errors[-1] // 2
+        width2 = errors[0] // 2
+        window = row[width2 * 2 : width2 * 2 + 2]
+        assert np.all(window != 0)
+
+
+def test_scatter_injection_flips_one_bit_in_distinct_symbols():
+    spec = parse_fault_spec("scatter4:1")
+    masks = np.zeros((50, 256), dtype=bool)
+    hit = inject_faults(masks, spec, np.random.default_rng(4))
+    assert hit.all()
+    assert np.all(masks.sum(axis=1) == 4)  # one bit per symbol
+    symbols = np.packbits(masks, axis=1)
+    assert np.all(np.count_nonzero(symbols, axis=1) == 4)  # distinct symbols
+
+
+def test_injection_overlays_existing_masks_in_place():
+    spec = parse_fault_spec("scatter2:1")
+    masks = np.zeros((4, 64), dtype=bool)
+    masks[:, 0] = True
+    inject_faults(masks, spec, np.random.default_rng(5))
+    assert np.all(masks.sum(axis=1) >= 1)
+
+
+def test_injection_rejects_pages_too_small_for_the_fault():
+    spec = parse_fault_spec("scatter4:1")
+    with pytest.raises(ValueError, match="cannot host"):
+        inject_faults(np.zeros((2, 16), dtype=bool), spec, np.random.default_rng(0))
+
+
+def test_classification_taxonomy():
+    symbols = np.zeros((7, 16), dtype=np.uint8)
+    symbols[1, 5] = 9  # single
+    symbols[2, 2:4] = 1  # aligned 2-burst
+    symbols[3, 4:8] = 1  # aligned 4-burst
+    symbols[4, 5:7] = 1  # spans windows [4,6) and [6,8) -> within 4-window [4,8)
+    symbols[5, 3:5] = 1  # spans 4-windows [0,4) and [4,8) -> scattered
+    symbols[6, [0, 15]] = 1  # far apart -> scattered
+    codes = classify_symbol_errors(symbols)
+    assert codes.tolist() == [
+        PATTERN_CLEAN,
+        PATTERN_SINGLE,
+        PATTERN_BURST2,
+        PATTERN_BURST4,
+        PATTERN_BURST4,
+        PATTERN_SCATTERED,
+        PATTERN_SCATTERED,
+    ]
+
+
+def test_classification_accepts_single_page_vector():
+    codes = classify_symbol_errors(np.array([0, 0, 7, 0], dtype=np.uint8))
+    assert codes.tolist() == [PATTERN_SINGLE]
+
+
+def test_injected_bursts_classify_as_their_own_width():
+    for width in (1, 2, 4):
+        spec = parse_fault_spec(f"burst{width}:1")
+        masks = np.zeros((64, 256), dtype=bool)
+        inject_faults(masks, spec, np.random.default_rng(width))
+        codes = classify_symbol_errors(np.packbits(masks, axis=1))
+        # A width-w aligned burst classifies as at most the w class
+        # (narrower when the random bytes happen to cluster).
+        ceiling = {1: PATTERN_SINGLE, 2: PATTERN_BURST2, 4: PATTERN_BURST4}[width]
+        assert np.all(codes > PATTERN_CLEAN)
+        assert np.all(codes <= ceiling)
+
+
+def test_pattern_counts_histogram():
+    codes = np.array(
+        [PATTERN_CLEAN, PATTERN_SINGLE, PATTERN_SINGLE, PATTERN_SCATTERED], dtype=np.int8
+    )
+    assert pattern_counts(codes) == {
+        "single": 2,
+        "burst2": 0,
+        "burst4": 0,
+        "scattered": 1,
+    }
+    assert "clean" not in pattern_counts(codes)
+    assert set(pattern_counts(codes)) == set(PATTERN_NAMES) - {"clean"}

@@ -1,0 +1,132 @@
+"""Property-based verification of the GF(256) tables and field ops.
+
+The RS engine's correctness rests entirely on these tables, so the field
+axioms are checked directly: seeded randomized associativity /
+distributivity / inverse properties over vector batches, the exhaustive
+log/antilog roundtrip, and batched-vs-scalar table-lookup equivalence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc import gf256
+
+
+def _mul_reference(a: int, b: int) -> int:
+    """Carry-less (Russian peasant) GF(256) multiply — no tables."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= gf256.PRIMITIVE_POLY
+        b >>= 1
+    return result
+
+
+def test_log_antilog_roundtrip_all_nonzero_elements():
+    values = np.arange(1, 256)
+    assert np.array_equal(gf256.EXP[gf256.LOG[values]], values)
+    powers = np.arange(255)
+    assert np.array_equal(gf256.LOG[gf256.EXP[powers]], powers)
+    # The doubled table halves agree (the mod-free multiply trick).
+    assert np.array_equal(gf256.EXP[:255], gf256.EXP[255:510])
+
+
+def test_generator_has_full_multiplicative_order():
+    seen = set(int(v) for v in gf256.EXP[:255])
+    assert len(seen) == 255 and 0 not in seen
+
+
+def test_mul_matches_carryless_reference_randomized():
+    rng = np.random.default_rng(1234)
+    a = rng.integers(0, 256, size=500)
+    b = rng.integers(0, 256, size=500)
+    batched = gf256.mul(a, b)
+    for x, y, got in zip(a, b, batched):
+        assert int(got) == _mul_reference(int(x), int(y))
+
+
+def test_batched_equals_scalar_table_lookup():
+    rng = np.random.default_rng(99)
+    a = rng.integers(0, 256, size=300)
+    b = rng.integers(0, 256, size=300)
+    assert np.array_equal(
+        gf256.mul(a, b), [int(gf256.mul(int(x), int(y))) for x, y in zip(a, b)]
+    )
+    nz = np.where(a == 0, 1, a)
+    assert np.array_equal(gf256.inv(nz), [int(gf256.inv(int(x))) for x in nz])
+    assert np.array_equal(
+        gf256.div(b, nz), [int(gf256.div(int(y), int(x))) for x, y in zip(nz, b)]
+    )
+
+
+def test_field_axioms_randomized():
+    rng = np.random.default_rng(77)
+    a = rng.integers(0, 256, size=1000)
+    b = rng.integers(0, 256, size=1000)
+    c = rng.integers(0, 256, size=1000)
+    # Commutativity and associativity of the product.
+    assert np.array_equal(gf256.mul(a, b), gf256.mul(b, a))
+    assert np.array_equal(
+        gf256.mul(gf256.mul(a, b), c), gf256.mul(a, gf256.mul(b, c))
+    )
+    # Distributivity over the field addition (XOR).
+    assert np.array_equal(
+        gf256.mul(a, b ^ c), gf256.mul(a, b) ^ gf256.mul(a, c)
+    )
+    # Identities.
+    assert np.array_equal(gf256.mul(a, np.ones_like(a)), a.astype(np.uint8))
+    assert np.all(gf256.mul(a, np.zeros_like(a)) == 0)
+
+
+def test_inverses_randomized():
+    rng = np.random.default_rng(55)
+    a = rng.integers(1, 256, size=1000)
+    assert np.all(gf256.mul(a, gf256.inv(a)) == 1)
+    b = rng.integers(1, 256, size=1000)
+    # div is mul by the inverse.
+    assert np.array_equal(gf256.div(a, b), gf256.mul(a, gf256.inv(b)))
+    assert np.all(gf256.div(np.zeros_like(b), b) == 0)
+
+
+def test_zero_has_no_inverse():
+    with pytest.raises(ZeroDivisionError):
+        gf256.inv(np.array([1, 0, 2]))
+    with pytest.raises(ZeroDivisionError):
+        gf256.div(np.array([5]), np.array([0]))
+
+
+def test_power_matches_repeated_multiplication():
+    rng = np.random.default_rng(3)
+    bases = rng.integers(1, 256, size=50)
+    acc = np.ones(50, dtype=np.uint8)
+    for exponent in range(6):
+        assert np.array_equal(gf256.power(bases, exponent), acc)
+        acc = gf256.mul(acc, bases)
+    assert np.all(gf256.power(np.zeros(3, dtype=np.int64), 0) == 1)
+    assert np.all(gf256.power(np.zeros(3, dtype=np.int64), 4) == 0)
+
+
+def test_alpha_power_wraps_negative_exponents():
+    n = np.array([-1, -255, 254, 255, 509])
+    expected = gf256.EXP[np.mod(n, 255)]
+    assert np.array_equal(gf256.alpha_power(n), expected)
+
+
+def test_poly_eval_and_mul_consistency():
+    rng = np.random.default_rng(11)
+    p = rng.integers(0, 256, size=5)
+    q = rng.integers(0, 256, size=4)
+    xs = rng.integers(0, 256, size=64)
+    lhs = gf256.poly_eval(gf256.poly_mul(p, q), xs)
+    rhs = gf256.mul(gf256.poly_eval(p, xs), gf256.poly_eval(q, xs))
+    assert np.array_equal(lhs, rhs)
+
+
+def test_elements_validated():
+    with pytest.raises(ValueError, match="integers"):
+        gf256.mul(np.array([0.5]), np.array([1]))
+    with pytest.raises(ValueError, match="0, 255"):
+        gf256.mul(np.array([256]), np.array([1]))

@@ -1,0 +1,215 @@
+"""Golden-vector + roundtrip verification of the vectorized RS engine.
+
+Golden codewords are pinned against the slow pure-Python reference in
+``tests/ecc/reference_rs.py`` (separate implementation, no shared
+tables); roundtrips corrupt within / beyond capability with burst and
+scattered shapes and check exact recovery, detected failure, and the
+miscorrection bookkeeping.  Everything is seeded — no flaky sampling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc.rs import RsCode, RsPageDecoder
+
+from reference_rs import encode as reference_encode
+from reference_rs import generator_poly, syndromes as reference_syndromes
+
+#: RS(16, 12) golden vectors computed by the pure-Python reference.
+GOLDEN_GENERATOR_16_12 = [116, 231, 216, 30, 1]
+GOLDEN_DATA = [202, 129, 115, 56, 78, 197, 240, 247, 111, 41, 15, 33]
+GOLDEN_CODEWORD = [202, 129, 115, 56, 78, 197, 240, 247, 111, 41, 15, 33, 74, 22, 126, 125]
+GOLDEN_SEQ_CODEWORD = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 161, 216, 216, 251]
+
+
+def test_generator_polynomial_matches_reference():
+    code = RsCode(16, 12)
+    assert code.generator.tolist() == GOLDEN_GENERATOR_16_12
+    assert code.generator.tolist() == generator_poly(4)
+
+
+def test_encode_matches_pinned_golden_vectors():
+    code = RsCode(16, 12)
+    encoded = code.encode(np.array([GOLDEN_DATA, list(range(1, 13)), [0] * 12]))
+    assert encoded[0].tolist() == GOLDEN_CODEWORD
+    assert encoded[1].tolist() == GOLDEN_SEQ_CODEWORD
+    assert encoded[2].tolist() == [0] * 16
+
+
+@pytest.mark.parametrize("n,k", [(16, 12), (32, 24), (255, 223)])
+def test_encode_matches_reference_randomized(n, k):
+    rng = np.random.default_rng(n * 1000 + k)
+    data = rng.integers(0, 256, size=(8, k)).astype(np.uint8)
+    encoded = RsCode(n, k).encode(data)
+    for row, d in zip(encoded, data):
+        assert row.tolist() == reference_encode([int(x) for x in d], n, k)
+
+
+def test_syndromes_match_reference_and_vanish_on_codewords():
+    code = RsCode(16, 12)
+    rng = np.random.default_rng(8)
+    data = rng.integers(0, 256, size=(6, 12)).astype(np.uint8)
+    words = code.encode(data)
+    assert np.all(code.syndromes(words) == 0)
+    corrupted = words.copy()
+    corrupted[:, 3] ^= 0x5A
+    batched = code.syndromes(corrupted)
+    for row, expected in zip(corrupted, batched):
+        assert expected.tolist() == reference_syndromes(
+            [int(x) for x in row], code.nparity
+        )
+    assert np.all(np.any(batched != 0, axis=1))
+
+
+@pytest.mark.parametrize("n,k", [(16, 12), (255, 223)])
+def test_roundtrip_scattered_errors_within_t(n, k):
+    code = RsCode(n, k)
+    rng = np.random.default_rng(41)
+    data = rng.integers(0, 256, size=(40, k)).astype(np.uint8)
+    words = code.encode(data)
+    received = words.copy()
+    for i in range(40):
+        count = int(rng.integers(0, code.t + 1))
+        positions = rng.choice(n, size=count, replace=False)
+        received[i, positions] ^= rng.integers(1, 256, size=count).astype(np.uint8)
+    result = code.decode(received)
+    assert result.ok.all()
+    assert np.array_equal(result.corrected, words)
+    expected_errors = np.count_nonzero(received != words, axis=1)
+    assert np.array_equal(result.corrected_symbols, expected_errors)
+
+
+def test_roundtrip_burst_errors_within_t():
+    code = RsCode(255, 223)
+    rng = np.random.default_rng(42)
+    data = rng.integers(0, 256, size=(20, 223)).astype(np.uint8)
+    words = code.encode(data)
+    received = words.copy()
+    for i in range(20):
+        start = int(rng.integers(0, 255 - code.t))
+        received[i, start : start + code.t] ^= rng.integers(
+            1, 256, size=code.t
+        ).astype(np.uint8)
+    result = code.decode(received)
+    assert result.ok.all()
+    assert np.array_equal(result.corrected, words)
+    assert np.all(result.corrected_symbols == code.t)
+
+
+def test_beyond_t_flags_uncorrectable_or_miscorrects():
+    code = RsCode(255, 223)
+    rng = np.random.default_rng(43)
+    data = rng.integers(0, 256, size=(30, 223)).astype(np.uint8)
+    words = code.encode(data)
+    received = words.copy()
+    for i in range(30):
+        positions = rng.choice(255, size=code.t + 3, replace=False)
+        received[i, positions] ^= rng.integers(1, 256, size=code.t + 3).astype(np.uint8)
+    result = code.decode(received)
+    # Every row either failed (returned unmodified) or silently decoded
+    # to *some* codeword; none may claim success with a non-codeword.
+    failed = ~result.ok
+    assert np.array_equal(result.corrected[failed], received[failed])
+    if result.ok.any():
+        assert np.all(code.syndromes(result.corrected[result.ok]) == 0)
+
+
+def test_weak_code_records_miscorrections_beyond_t():
+    # t=1: three symbol errors regularly land within distance 1 of a
+    # *different* codeword — the silent-data-corruption case.
+    code = RsCode(32, 30)
+    rng = np.random.default_rng(44)
+    data = rng.integers(0, 256, size=(400, 30)).astype(np.uint8)
+    words = code.encode(data)
+    received = words.copy()
+    for i in range(400):
+        positions = rng.choice(32, size=3, replace=False)
+        received[i, positions] ^= rng.integers(1, 256, size=3).astype(np.uint8)
+    result = code.decode(received)
+    miscorrected = result.ok & np.any(result.corrected != words, axis=1)
+    assert miscorrected.sum() > 0
+    # Miscorrections are still codewords — that is what makes them silent.
+    assert np.all(code.syndromes(result.corrected[miscorrected]) == 0)
+
+
+def test_all_zero_rows_early_exit():
+    code = RsCode(255, 223)
+    words = np.zeros((1000, 255), dtype=np.uint8)
+    result = code.decode(words)
+    assert result.ok.all()
+    assert np.all(result.corrected == 0)
+    assert np.all(result.corrected_symbols == 0)
+
+
+def test_shortened_rows_decode_and_reject_virtual_corrections():
+    code = RsCode(255, 223)
+    rng = np.random.default_rng(45)
+    # A shortened word: leading 127 symbols are virtual zeros.
+    words = np.zeros((30, 255), dtype=np.uint8)
+    lengths = np.full(30, 128, dtype=np.int64)
+    for i in range(30):
+        positions = 127 + rng.choice(128, size=code.t, replace=False)
+        words[i, positions] ^= rng.integers(1, 256, size=code.t).astype(np.uint8)
+    result = code.decode(words, lengths)
+    assert result.ok.all()
+    assert np.all(result.corrected == 0)
+
+    # The same error patterns decoded un-shortened still succeed, but any
+    # decode landing corrections in the virtual prefix must fail when the
+    # length constraint is active.
+    beyond = np.zeros((200, 255), dtype=np.uint8)
+    for i in range(200):
+        positions = 127 + rng.choice(128, size=code.t + 2, replace=False)
+        beyond[i, positions] ^= rng.integers(1, 256, size=code.t + 2).astype(np.uint8)
+    unconstrained = code.decode(beyond)
+    constrained = code.decode(beyond, np.full(200, 128, dtype=np.int64))
+    # Shortening can only remove claimed successes, never add them.
+    assert np.all(constrained.ok <= unconstrained.ok)
+
+
+def test_code_parameter_validation():
+    with pytest.raises(ValueError, match=r"\[3, 255\]"):
+        RsCode(256, 200)
+    with pytest.raises(ValueError, match=r"\[1, n\)"):
+        RsCode(16, 16)
+    with pytest.raises(ValueError, match="even"):
+        RsCode(16, 11)
+
+
+def test_page_decoder_layout_and_shortening():
+    pd = RsPageDecoder(RsCode(255, 223), page_bits=2048)
+    assert pd.symbols_per_page == 256
+    assert pd.codewords_per_page == 2
+    assert pd.lengths.tolist() == [128, 128]
+    with pytest.raises(ValueError, match="parity"):
+        # 8 symbols cannot host 32 parity symbols.
+        RsPageDecoder(RsCode(255, 223), page_bits=64)
+
+
+def test_page_decoder_masks_clean_and_correctable():
+    pd = RsPageDecoder(RsCode(255, 223), page_bits=512)
+    masks = np.zeros((4, 512), dtype=bool)
+    masks[1, 9] = True
+    masks[2, 16:24] = True  # exactly symbol 2
+    out = pd.decode_masks(masks)
+    assert out.ok.all()
+    assert not out.miscorrected.any()
+    assert out.bit_errors.tolist() == [0, 1, 8, 0]
+    assert out.symbol_errors.tolist() == [0, 1, 1, 0]
+
+
+def test_page_decoder_detects_uncorrectable_and_miscorrection():
+    strong = RsPageDecoder(RsCode(255, 223), page_bits=512)
+    masks = np.zeros((1, 512), dtype=bool)
+    masks[0, ::8] = True  # 64 scattered symbol errors >> t=16
+    out = strong.decode_masks(masks)
+    assert not out.ok[0]
+
+    weak = RsPageDecoder(RsCode(32, 30), page_bits=256)
+    rng = np.random.default_rng(46)
+    many = np.zeros((2000, 256), dtype=bool)
+    for i in range(2000):
+        many[i, rng.choice(256, size=6, replace=False)] = True
+    res = weak.decode_masks(many)
+    assert res.miscorrected.sum() > 0
+    assert np.all(res.miscorrected <= res.ok)
