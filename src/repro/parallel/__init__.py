@@ -20,21 +20,27 @@ campaign layer adds durability on the same substrate:
 - :class:`Campaign` — checkpoint/resume over a store, per-scenario
   failure policy (``fail_fast`` | ``continue`` | ``retry:N`` with
   exponential backoff), wall-clock timeouts that kill hung workers,
-  hash-sharding (``shard="i/N"``), and streaming aggregation.
+  hash-sharding (``shard="i/N"``), and streaming aggregation;
+- :class:`LeaseLedger` — elastic scheduling over one store
+  (``Campaign(..., elastic=True)``): workers claim/renew/reclaim
+  scenario batches with fencing tokens, no shard arithmetic; and
+  :func:`campaign_status` — live health of any campaign directory.
 
-See ``docs/architecture.md`` ("The sweep subsystem", "Campaigns") for
-the determinism contract and ``tests/parallel/`` for the equivalence
-suite.
+See ``docs/architecture.md`` ("The sweep subsystem", "Campaigns",
+"Elastic campaigns") for the determinism contract and
+``tests/parallel/`` for the equivalence suite.
 """
 
 from repro.parallel.campaign import (
     Campaign,
     FailurePolicy,
     StreamingAggregate,
+    campaign_status,
     parse_shard,
     run_campaign,
     shard_of,
 )
+from repro.parallel.leases import Lease, LeaseLedger, LeaseState
 from repro.parallel.results import (
     ScenarioFailure,
     ScenarioResult,
@@ -47,7 +53,11 @@ from repro.parallel.store import ResultStore, grid_fingerprint
 __all__ = [
     "Campaign",
     "FailurePolicy",
+    "Lease",
+    "LeaseLedger",
+    "LeaseState",
     "ResultStore",
+    "campaign_status",
     "ScenarioFailure",
     "ScenarioResult",
     "StreamingAggregate",

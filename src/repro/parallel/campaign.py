@@ -27,6 +27,14 @@ characterization cross-products:
   to shard *i* of *N*; independent hosts each run one shard into their
   own store and the stores merge into one report by construction
   (:meth:`~repro.parallel.store.ResultStore.ingest`).
+- **Elastic scheduling.**  ``elastic=True`` replaces the static shard
+  arithmetic with the lease ledger (:mod:`repro.parallel.leases`):
+  any number of workers point at the *same* store, claim scenario
+  batches, heartbeat while they work, and reclaim batches whose holder
+  died — no indices, no fixed pool size, no coordinator.  Fencing
+  tokens ride into the result records, so a zombie worker resuming
+  after its lease expired is detected (not corrupting — results are
+  deterministic) by the store's duplicate-id check.
 - **Streaming aggregation.**  Worst-block-RBER / wear / read-pressure
   percentiles update as results land (:class:`StreamingAggregate`), so
   a week-long campaign is observable while it runs.
@@ -44,13 +52,21 @@ failure mode injected deterministically via :mod:`repro.testing.faults`.
 from __future__ import annotations
 
 import hashlib
+import os
+import socket
 import time
 import traceback
 from collections import Counter
 from collections.abc import Iterable
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
 
+from repro.parallel.leases import (
+    DEFAULT_LEASE_TTL,
+    LeaseLedger,
+    sanitize_owner,
+)
 from repro.parallel.results import ScenarioFailure, ScenarioResult, SweepReport
 from repro.parallel.runner import (
     _pool_context,
@@ -271,6 +287,8 @@ class _Running:
     process: object
     conn: object
     deadline: float | None
+    #: monotonic launch time — failure-ledger durations derive from it.
+    started: float = 0.0
 
     def reap(self) -> int | None:
         """Join the process and close the parent's pipe end."""
@@ -310,6 +328,29 @@ class Campaign:
     shard:
         ``"i/N"`` (or an ``(i, N)`` tuple) to run only the scenarios
         hashing to shard *i* of *N* (:func:`shard_of`).
+    elastic:
+        Schedule through the lease ledger instead of a static shard:
+        this worker claims unowned scenario batches, heartbeats them,
+        and reclaims batches whose holder stopped heartbeating.  Start
+        as many elastic campaigns over one store as you like — they
+        partition the grid dynamically.  Mutually exclusive with
+        *shard*.
+    lease_ttl:
+        Elastic only: seconds without a heartbeat before any worker may
+        reclaim a lease.  Must be generous against the slowest single
+        scenario's *scheduling* gaps (renewals happen between poll
+        ticks, several per TTL) and cross-host clock skew.
+    lease_batch:
+        Elastic only: scenarios per claimed batch (default: the plan's
+        auto size).  The first worker's plan wins; later workers adopt
+        its batch size.
+    worker_name:
+        Elastic only: this worker's store-writer and lease-owner name
+        (default ``w-<hostname>-<pid>``).  Must be unique among
+        concurrently live workers of one store.
+    progress_interval:
+        Emit the *progress* callback at least every this-many seconds
+        (instead of after every landed result).
 
     :meth:`run` returns the merged :class:`SweepReport` of everything
     the store now holds for this grid — bit-identical to one serial
@@ -325,6 +366,11 @@ class Campaign:
         on_failure: FailurePolicy | str = "fail_fast",
         timeout: float | None = None,
         shard: str | tuple[int, int] | None = None,
+        elastic: bool = False,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        lease_batch: int | None = None,
+        worker_name: str | None = None,
+        progress_interval: float | None = None,
         poll_interval: float = 0.02,
     ):
         self.scenarios = list(grid)
@@ -352,13 +398,34 @@ class Campaign:
             index, total = self.shard
             if total < 1 or not 0 <= index < total:
                 raise ValueError(f"bad shard {self.shard!r}")
-        writer = (
-            f"shard{self.shard[0]}of{self.shard[1]}" if self.shard else "all"
-        )
+        self.elastic = bool(elastic)
+        if self.elastic and self.shard is not None:
+            raise ValueError(
+                "elastic scheduling and --shard are mutually exclusive: "
+                "leases partition the grid dynamically"
+            )
+        if lease_ttl <= 0:
+            raise ValueError("lease ttl must be positive seconds")
+        self.lease_ttl = float(lease_ttl)
+        self.lease_batch = lease_batch
+        if self.elastic:
+            writer = sanitize_owner(
+                worker_name
+                if worker_name is not None
+                else f"w-{socket.gethostname()}-{os.getpid()}"
+            )
+        elif self.shard is not None:
+            writer = f"shard{self.shard[0]}of{self.shard[1]}"
+        else:
+            writer = "all"
+        self.worker_name = writer
         self.store = (
             store
             if isinstance(store, ResultStore)
             else ResultStore(store, writer=writer)
+        )
+        self.progress_interval = (
+            None if progress_interval is None else float(progress_interval)
         )
         self.poll_interval = float(poll_interval)
         #: scenarios this run skipped because the store already held them.
@@ -367,7 +434,14 @@ class Campaign:
         self.failed: list[dict] = []
         #: every failed attempt of this run (mirror of the store ledger).
         self.ledger: list[dict] = []
+        #: elastic: batches this worker lost to a reclaim (zombie fence).
+        self.fenced_batches = 0
         self.aggregate = StreamingAggregate()
+        self._lease = None
+        self._fenced = False
+        self._ledger_handle: LeaseLedger | None = None
+        self._last_renew = 0.0
+        self._last_progress = 0.0
 
     # ------------------------------------------------------------------
     # Shard / scope helpers
@@ -417,10 +491,88 @@ class Campaign:
             # is deterministic in the scenario).
             warm_trace_cache(to_run)
         try:
-            self._execute(to_run, context, progress)
+            if self.elastic:
+                self._run_elastic(context, progress)
+            else:
+                self._execute(to_run, context, progress)
         finally:
             self.store.close()
         return self.report()
+
+    def _run_elastic(self, context, progress) -> None:
+        """Claim → execute → mark-done over the lease ledger, until the
+        whole plan is retired (by us or by any other worker)."""
+        ledger = LeaseLedger(
+            self.store.root, owner=self.worker_name, ttl=self.lease_ttl
+        )
+        self._ledger_handle = ledger
+        by_id = {s.scenario_id: s for s in self.scenarios}
+        batches = dict(ledger.plan(sorted(by_id), batch_size=self.lease_batch))
+        pending = set(batches)
+        while pending:
+            claimed = None
+            for state in ledger.states():
+                if state.batch_id not in pending:
+                    continue
+                if state.done:
+                    pending.discard(state.batch_id)
+                    continue
+                lease = ledger.claim(state.batch_id)
+                if lease is not None:
+                    claimed = lease
+                    break
+            if claimed is None:
+                if not pending:
+                    break
+                # Every remaining batch is held by a live peer: wait for
+                # it to finish (done) or for its heartbeat to go stale.
+                time.sleep(
+                    max(self.poll_interval, min(self.lease_ttl / 4, 1.0))
+                )
+                continue
+            # Re-read stored ids per batch: a previous holder may have
+            # completed part of it before dying (O(segments)+tail scan).
+            stored = self.store.scenario_ids()
+            to_run = [
+                by_id[i]
+                for i in batches[claimed.batch_id]
+                if i in by_id and i not in stored
+            ]
+            self._lease = claimed
+            self._fenced = False
+            self._last_renew = time.monotonic()
+            try:
+                self._execute(to_run, context, progress)
+            finally:
+                self._lease = None
+            if self._fenced:
+                # Reclaimed from under us — the new holder (or whoever
+                # follows) finishes the batch and marks it done.
+                continue
+            stored = self.store.scenario_ids()
+            if all(i in stored for i in batches[claimed.batch_id]):
+                ledger.mark_done(claimed)
+            # else: some scenario permanently failed under a
+            # continue/retry policy.  Leave the batch un-done — its
+            # lease expires, and a later resume (with the fault fixed)
+            # reclaims and completes it, exactly like a non-elastic
+            # resume re-runs ledgered failures.  Either way this worker
+            # is finished with the batch.
+            pending.discard(claimed.batch_id)
+
+    def _renew_lease(self) -> None:
+        """Heartbeat the held lease about three times per TTL; a failed
+        renewal means we were fenced — drop the batch's queued work."""
+        if self._lease is None:
+            return
+        now = time.monotonic()
+        if now - self._last_renew < self.lease_ttl / 3:
+            return
+        if self._ledger_handle.renew(self._lease):
+            self._last_renew = now
+        else:
+            self._fenced = True
+            self.fenced_batches += 1
 
     def report(self) -> SweepReport:
         """Merged report of everything the store holds for this grid."""
@@ -469,14 +621,22 @@ class Campaign:
         )
         process.start()
         child_conn.close()
+        started = time.monotonic()
         deadline = (
-            time.monotonic() + self.timeout if self.timeout is not None else None
+            started + self.timeout if self.timeout is not None else None
         )
-        return _Running(entry, process, parent_conn, deadline)
+        return _Running(entry, process, parent_conn, deadline, started)
 
     def _poll(self, queue, inflight, progress) -> None:
         """Wait for one scheduling event: a result, a death, a timeout,
         or a backoff expiry."""
+        self._renew_lease()
+        if self._lease is not None and self._fenced and queue:
+            # Fenced off: the batch belongs to another worker now.
+            # In-flight attempts drain (their results are stamped with
+            # our stale token — detectable, and harmless by
+            # determinism); queued ones are the new holder's job.
+            queue.clear()
         now = time.monotonic()
         wait_until = now + self.poll_interval
         for running in inflight.values():
@@ -510,18 +670,23 @@ class Campaign:
                         f"before reporting a result (crash, os._exit, or "
                         f"kill)"
                     ),
+                    duration=time.monotonic() - running.started,
                 )
                 continue
             running.reap()
             del inflight[scenario_id]
             if kind == "ok":
-                self.store.append(payload)
+                self.store.append(payload, lease=self._lease)
                 self.aggregate.observe(payload)
-                if progress is not None:
+                if progress is not None and self.progress_interval is None:
                     progress(self.aggregate.snapshot())
             else:
                 self._attempt_failed(
-                    queue, running.entry, kind="exception", detail=payload
+                    queue,
+                    running.entry,
+                    kind="exception",
+                    detail=payload,
+                    duration=time.monotonic() - running.started,
                 )
         # Hung workers: past-deadline attempts are killed and fed to the
         # failure policy exactly like a crash.
@@ -540,18 +705,27 @@ class Campaign:
                     f"scenario exceeded the {self.timeout:g}s wall-clock "
                     f"timeout; worker killed"
                 ),
+                duration=now - running.started,
             )
+        if progress is not None and self.progress_interval is not None:
+            now = time.monotonic()
+            if now - self._last_progress >= self.progress_interval:
+                self._last_progress = now
+                progress(self.aggregate.snapshot())
 
-    def _attempt_failed(self, queue, entry: _Attempt, kind: str, detail: str):
+    def _attempt_failed(
+        self,
+        queue,
+        entry: _Attempt,
+        kind: str,
+        detail: str,
+        duration: float | None = None,
+    ):
         """Ledger one failed attempt and apply the failure policy."""
         scenario_id = entry.scenario.scenario_id
-        self.store.record_failure(scenario_id, entry.attempt, kind, detail)
-        record = {
-            "scenario_id": scenario_id,
-            "attempt": entry.attempt,
-            "kind": kind,
-            "detail": detail,
-        }
+        record = self.store.record_failure(
+            scenario_id, entry.attempt, kind, detail, duration=duration
+        )
         self.ledger.append(record)
         self.aggregate.observe_failure()
         if self.policy.kind == "fail_fast":
@@ -576,3 +750,59 @@ def run_campaign(
 ) -> SweepReport:
     """One-call convenience: ``Campaign(grid, store, **kwargs).run()``."""
     return Campaign(grid, store, **kwargs).run()
+
+
+def campaign_status(
+    root: str | os.PathLike, ttl: float = DEFAULT_LEASE_TTL
+) -> dict:
+    """Live health of a campaign directory, from store state alone.
+
+    Works on a running, crashed, or finished campaign — everything is
+    derived from the durable artifacts (manifest, records, segments,
+    failure ledger, lease claim files), so ``--status`` needs no
+    connection to any worker.  *ttl* only affects which leases are
+    flagged stale (a reader cannot know the workers' actual TTL).
+    """
+    store = ResultStore(root)
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise ValueError(f"{root} is not an initialized campaign store")
+    results = store.load()
+    aggregate = StreamingAggregate()
+    for scenario_id in sorted(results):
+        aggregate.observe(results[scenario_id])
+    failures = store.failures()
+    kinds = Counter(f.get("kind", "unknown") for f in failures)
+    leases = []
+    if (Path(root) / "leases").exists():
+        ledger = LeaseLedger(root, owner="status-reader", ttl=ttl)
+        now = time.time()
+        for state in ledger.states():
+            age = state.age(now)
+            leases.append(
+                {
+                    "batch": state.batch_id,
+                    "owner": state.owner,
+                    "token": state.token,
+                    "done": state.done,
+                    "heartbeat_age_seconds": (
+                        None if state.owner is None else age
+                    ),
+                    "stale": (
+                        state.owner is not None
+                        and not state.done
+                        and age >= ttl
+                    ),
+                }
+            )
+    return {
+        "root": str(root),
+        "scenario_count": manifest.get("scenario_count"),
+        "completed": len(results),
+        "corrupt_records": store.corrupt_records,
+        "zombie_writes": store.zombie_writes,
+        "store": store.describe(),
+        "failures": {"total": len(failures), "kinds": dict(kinds)},
+        "leases": leases,
+        "aggregate": aggregate.snapshot(),
+    }

@@ -36,6 +36,19 @@ Examples::
     python -m repro.sweep --workloads web_0 prxy_0 --seeds 8 \\
         --campaign runs/host1 --shard 0/2
 
+    # An elastic pool: start the same command on any number of hosts
+    # or terminals — workers lease scenario batches dynamically, and a
+    # killed worker's lease is reclaimed by the survivors
+    python -m repro.sweep --workloads web_0 prxy_0 --seeds 8 \\
+        --campaign runs/night1 --resume --elastic --progress 30
+
+    # Live health of any campaign directory (running or not)
+    python -m repro.sweep --status runs/night1
+
+    # Fold a finished campaign's records into a checksummed segment
+    # (load drops to O(segments) + live tail)
+    python -m repro.sweep --compact runs/night1
+
     # What can I sweep?
     python -m repro.sweep --list-workloads
 """
@@ -51,6 +64,22 @@ from repro.parallel import SweepRunner
 from repro.units import VPASS_NOMINAL
 from repro.workloads.grid import BackendSpec, GeometrySpec, PolicySpec, ScenarioGrid
 from repro.workloads.suites import WORKLOAD_SUITE, suite_grid, workload_names
+
+
+def _shard_argument(text: str) -> str:
+    """argparse type for ``--shard``: validate ``i/N`` at parse time.
+
+    Malformed specs (non-integers, ``N <= 0``, ``i >= N``) die here with
+    an argparse error naming the flag, instead of surfacing later as a
+    raw exception from the campaign layer.
+    """
+    from repro.parallel import parse_shard
+
+    try:
+        parse_shard(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,9 +201,48 @@ def build_parser() -> argparse.ArgumentParser:
         "fed to the failure policy",
     )
     campaign.add_argument(
-        "--shard", default=None, metavar="i/N",
+        "--shard", default=None, metavar="i/N", type=_shard_argument,
         help="run only the scenarios hashing to shard i of N (0-based); "
         "shard stores merge with ResultStore.ingest",
+    )
+    campaign.add_argument(
+        "--elastic", action="store_true",
+        help="schedule through the lease ledger instead of a static "
+        "shard: start this command on any number of hosts/terminals "
+        "over one store; workers claim scenario batches, heartbeat "
+        "them, and reclaim batches whose holder died",
+    )
+    campaign.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="elastic: seconds without a heartbeat before a lease is "
+        "reclaimable (default 30)",
+    )
+    campaign.add_argument(
+        "--lease-batch", type=int, default=None, metavar="N",
+        help="elastic: scenarios per leased batch (default: auto; the "
+        "first worker's plan wins)",
+    )
+    campaign.add_argument(
+        "--worker-name", default=None, metavar="NAME",
+        help="elastic: this worker's store-writer/lease-owner name "
+        "(default: w-<hostname>-<pid>)",
+    )
+    campaign.add_argument(
+        "--progress", type=float, default=None, metavar="SECONDS",
+        help="print a live progress line at least every N seconds while "
+        "the campaign runs",
+    )
+    campaign.add_argument(
+        "--status", type=Path, default=None, metavar="DIR",
+        help="print live health of the campaign store at DIR (progress, "
+        "per-worker leases, failure summary, streaming aggregate) and "
+        "exit; derived from store state alone",
+    )
+    campaign.add_argument(
+        "--compact", type=Path, default=None, metavar="DIR",
+        help="fold the campaign store's live records into a "
+        "checksummed columnar segment and exit (refuses while workers "
+        "hold fresh leases)",
     )
     parser.add_argument(
         "--serial-check", action="store_true",
@@ -358,12 +426,125 @@ def serial_check(grid, report) -> None:
     )
 
 
+def _progress_line(snapshot: dict) -> str:
+    """One live progress line from a streaming-aggregate snapshot."""
+    rber = snapshot.get("worst_block_rber") or {}
+    rber_text = (
+        f", worst-RBER p99 {rber['p99']:.2e}" if rber.get("p99") is not None
+        else ""
+    )
+    return (
+        f"progress: {snapshot['completed']} completed, "
+        f"{snapshot['failed_attempts']} failed attempt(s), "
+        f"{snapshot['uncorrectable_pages']} uncorrectable page(s)"
+        f"{rber_text}"
+    )
+
+
+def render_status(status: dict) -> str:
+    """Human-readable campaign health (see ``--status``)."""
+    lines = []
+    total = status["scenario_count"]
+    done = status["completed"]
+    pct = f" ({100.0 * done / total:.1f}%)" if total else ""
+    lines.append(f"campaign store {status['root']}")
+    lines.append(f"  progress: {done}/{total} scenario(s){pct}")
+    store = status["store"]
+    lines.append(
+        f"  store: {store['segments']} segment(s) holding "
+        f"{store['segment_records']} record(s), {store['live_files']} live "
+        f"file(s)"
+    )
+    if status["corrupt_records"]:
+        lines.append(
+            f"  corrupt records skipped: {status['corrupt_records']} "
+            f"(affected scenarios re-run on resume)"
+        )
+    if status["zombie_writes"]:
+        lines.append(
+            f"  zombie writes detected: {status['zombie_writes']} "
+            f"scenario(s) recorded under more than one lease token "
+            f"(payloads agree; harmless)"
+        )
+    failures = status["failures"]
+    if failures["total"]:
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(failures["kinds"].items())
+        )
+        lines.append(f"  failed attempts: {failures['total']} ({kinds})")
+    else:
+        lines.append("  failed attempts: 0")
+    if status["leases"]:
+        lines.append("  leases:")
+        for lease in status["leases"]:
+            if lease["done"]:
+                detail = "done"
+            elif lease["owner"] is None:
+                detail = "unclaimed"
+            else:
+                age = lease["heartbeat_age_seconds"]
+                mark = " STALE" if lease["stale"] else ""
+                detail = (
+                    f"held by {lease['owner']} (token {lease['token']}, "
+                    f"heartbeat {age:.1f}s ago{mark})"
+                )
+            lines.append(f"    {lease['batch']}: {detail}")
+    aggregate = status["aggregate"]
+    rber = aggregate.get("worst_block_rber")
+    if rber:
+        lines.append(
+            f"  worst-block RBER: p50 {rber['p50']:.3e}  "
+            f"p99 {rber['p99']:.3e}  max {rber['max']:.3e}  (n={rber['n']})"
+        )
+    lines.append(
+        f"  uncorrectable pages: {aggregate['uncorrectable_pages']}, "
+        f"data-loss events: {aggregate['data_loss_events']}"
+    )
+    return "\n".join(lines)
+
+
+def run_status_cli(args: argparse.Namespace) -> int:
+    from repro.parallel import campaign_status
+
+    try:
+        status = campaign_status(args.status)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(render_status(status))
+    return 0
+
+
+def run_compact_cli(args: argparse.Namespace) -> int:
+    from repro.parallel.store import ResultStore
+
+    store = ResultStore(args.compact)
+    if store.read_manifest() is None:
+        raise SystemExit(f"{args.compact} is not an initialized campaign store")
+    try:
+        summary = store.compact()
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if summary is None:
+        print("nothing to compact: no live records")
+    else:
+        print(
+            f"compacted {summary['records']} record(s) from "
+            f"{summary['folded_files']} live file(s) into "
+            f"{summary['segment']}"
+        )
+    return 0
+
+
 def run_campaign_cli(args: argparse.Namespace, grid: ScenarioGrid):
-    """The ``--campaign`` execution path: resumable, durable, sharded."""
+    """The ``--campaign`` execution path: resumable, durable, elastic."""
     from repro.parallel import Campaign, ScenarioFailure
     from repro.parallel.store import ResultStore
 
-    if ResultStore.is_initialized(args.campaign) and not args.resume:
+    if ResultStore.is_initialized(args.campaign) and not (
+        args.resume or args.elastic
+    ):
+        # Elastic workers share one store by design: every worker after
+        # the first finds it initialized, so --elastic implies --resume.
         raise SystemExit(
             f"campaign store {args.campaign} is already initialized; pass "
             f"--resume to continue it, or choose a fresh directory"
@@ -376,17 +557,33 @@ def run_campaign_cli(args: argparse.Namespace, grid: ScenarioGrid):
             on_failure=args.on_failure,
             timeout=args.timeout,
             shard=args.shard,
+            elastic=args.elastic,
+            lease_ttl=(
+                args.lease_ttl if args.lease_ttl is not None else 30.0
+            ),
+            lease_batch=args.lease_batch,
+            worker_name=args.worker_name,
+            progress_interval=args.progress,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    scope = f" (shard {args.shard})" if args.shard else ""
+    if args.elastic:
+        scope = f" (elastic worker {campaign.worker_name})"
+    elif args.shard:
+        scope = f" (shard {args.shard})"
+    else:
+        scope = ""
     print(
         f"campaign over {len(grid)} scenario(s){scope}, up to "
         f"{campaign.workers} in flight, store {args.campaign}...",
         flush=True,
     )
+    progress = None
+    if args.progress is not None:
+        def progress(snapshot):
+            print(_progress_line(snapshot), flush=True)
     try:
-        report = campaign.run()
+        report = campaign.run(progress=progress)
     except ScenarioFailure as exc:
         raise SystemExit(f"campaign aborted (fail_fast): {exc}") from None
     except ValueError as exc:
@@ -395,6 +592,11 @@ def run_campaign_cli(args: argparse.Namespace, grid: ScenarioGrid):
         raise SystemExit(str(exc)) from None
     if campaign.resumed:
         print(f"resumed: {campaign.resumed} scenario(s) already stored")
+    if campaign.fenced_batches:
+        print(
+            f"fenced off {campaign.fenced_batches} batch(es) (lease "
+            f"reclaimed by another worker; no work lost)"
+        )
     if campaign.ledger:
         print(f"failed attempts this run: {len(campaign.ledger)}")
     for failure in campaign.failed:
@@ -411,10 +613,21 @@ def main(argv: list[str] | None = None) -> int:
         for name in workload_names():
             print(f"{name:12s} {WORKLOAD_SUITE[name].description}")
         return 0
+    if args.status is not None:
+        return run_status_cli(args)
+    if args.compact is not None:
+        return run_compact_cli(args)
     if args.resume and args.campaign is None:
         raise SystemExit("--resume needs --campaign DIR")
     if args.shard is not None and args.campaign is None:
         raise SystemExit("--shard needs --campaign DIR (shards merge stores)")
+    if args.elastic and args.campaign is None:
+        raise SystemExit("--elastic needs --campaign DIR (the shared store)")
+    if args.elastic and args.shard is not None:
+        raise SystemExit(
+            "--elastic and --shard are mutually exclusive: leases "
+            "partition the grid dynamically"
+        )
     grid = build_grid(args)
     if args.campaign is not None:
         report, campaign = run_campaign_cli(args, grid)

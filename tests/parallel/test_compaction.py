@@ -1,0 +1,252 @@
+"""Crash-safety suite for store compaction and fencing-token accounting.
+
+The compaction contract under test: a crash at *any* byte of
+:meth:`ResultStore.compact` — before, during, or after the segment
+files are written, at the manifest commit, or mid-cleanup — loses
+nothing; ``load()`` always returns exactly the pre-compaction record
+set.  Crashes are injected deterministically at every commit boundary
+via the ``compact/<step>`` pseudo-ids of :mod:`repro.testing.faults`,
+and torn artifacts by truncating committed files at byte boundaries
+from the outside.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel.leases import Lease, LeaseLedger
+from repro.parallel.results import ScenarioResult
+from repro.parallel.store import ResultStore
+from repro.testing.faults import FaultSpec, InjectedFault, injected_faults
+
+#: every fsync'd commit boundary of the compaction protocol, in order.
+COMPACT_STEPS = ("tmp", "data", "index", "manifest", "cleanup")
+
+
+def fake_result(scenario_id, value=1.5):
+    return ScenarioResult(
+        scenario_id=scenario_id,
+        stats={"host_reads": 10, "write_amplification": value},
+        backend={"backend": "counter"},
+        per_block={"pe_cycles": [1, 2, 3]},
+        trajectory=[{"window": 0, "worst_block_rber": value / 100}],
+    )
+
+
+def populated_store(root, n=4, writers=("w1", "w2")):
+    """A store holding *n* records spread across several writer files."""
+    results = [fake_result(f"s/{i:02d}", value=1.0 / (i + 3)) for i in range(n)]
+    for w, writer in enumerate(writers):
+        with ResultStore(root, writer=writer) as store:
+            for result in results[w::len(writers)]:
+                store.append(result)
+    return {result.scenario_id: result for result in results}
+
+
+# ----------------------------------------------------------------------
+# The happy path: fold, reload, repeat
+# ----------------------------------------------------------------------
+
+
+def test_compact_folds_live_records_into_one_segment(tmp_path):
+    expected = populated_store(tmp_path)
+    store = ResultStore(tmp_path)
+    summary = store.compact()
+    assert summary == {
+        "segment": "segment-00000", "records": 4, "folded_files": 2,
+    }
+    assert store.describe() == {
+        "segments": 1, "segment_records": 4, "live_files": 0,
+    }
+    assert ResultStore(tmp_path).load() == expected
+    assert ResultStore(tmp_path).scenario_ids() == set(expected)
+
+
+def test_compact_is_incremental_across_generations(tmp_path):
+    expected = populated_store(tmp_path)
+    store = ResultStore(tmp_path)
+    store.compact()
+    # New results land in the live tail after the first fold...
+    late = fake_result("s/99", value=0.25)
+    with ResultStore(tmp_path, writer="late") as writer:
+        writer.append(late)
+    expected[late.scenario_id] = late
+    assert ResultStore(tmp_path).load() == expected
+    # ...and a second fold stacks a second segment beside the first.
+    summary = ResultStore(tmp_path).compact()
+    assert summary["segment"] == "segment-00001"
+    assert ResultStore(tmp_path).describe()["segments"] == 2
+    assert ResultStore(tmp_path).load() == expected
+
+
+def test_compact_with_nothing_to_fold_is_a_no_op(tmp_path):
+    populated_store(tmp_path)
+    store = ResultStore(tmp_path)
+    store.compact()
+    assert ResultStore(tmp_path).compact() is None
+
+
+def test_compact_refuses_disagreeing_duplicates(tmp_path):
+    with ResultStore(tmp_path, writer="w1") as a:
+        a.append(fake_result("s/00", value=0.5))
+    with ResultStore(tmp_path, writer="w2") as b:
+        b.append(fake_result("s/00", value=0.75))  # different payload!
+    with pytest.raises(ValueError, match="two different results"):
+        ResultStore(tmp_path).compact()
+
+
+# ----------------------------------------------------------------------
+# Crash at every commit boundary
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("step", COMPACT_STEPS)
+def test_crash_at_every_compaction_step_loses_nothing(tmp_path, step):
+    """Kill the compaction at each fsync'd boundary: ``load()`` must
+    return exactly the pre-compaction record set, and a later
+    fault-free compact must succeed from the wreckage."""
+    expected = populated_store(tmp_path)
+    with injected_faults(FaultSpec("raise", None, f"compact/{step}")):
+        with pytest.raises(InjectedFault):
+            ResultStore(tmp_path).compact()
+    reread = ResultStore(tmp_path)
+    assert reread.load() == expected
+    assert reread.scenario_ids() == set(expected)
+    # Recovery: compaction after the crash completes and stays exact.
+    survivor = ResultStore(tmp_path)
+    survivor.compact()
+    assert ResultStore(tmp_path).load() == expected
+    assert ResultStore(tmp_path).describe()["live_files"] == 0
+
+
+def test_crashed_compaction_never_reuses_orphan_segment_names(tmp_path):
+    """Orphan files of a crashed fold (data written, manifest not) must
+    not be overwritten by the next fold — it picks a fresh name."""
+    expected = populated_store(tmp_path)
+    with injected_faults(FaultSpec("raise", None, "compact/index")):
+        with pytest.raises(InjectedFault):
+            ResultStore(tmp_path).compact()
+    assert (tmp_path / "segments" / "segment-00000.data.json").exists()
+    summary = ResultStore(tmp_path).compact()
+    assert summary["segment"] == "segment-00001"
+    assert ResultStore(tmp_path).load() == expected
+
+
+# ----------------------------------------------------------------------
+# Torn committed artifacts (the satellite property test)
+# ----------------------------------------------------------------------
+
+
+def _truncation_points(size, max_points=160):
+    """Byte boundaries to test: exhaustive for small files, an evenly
+    strided cover (always including both edges and their neighbours)
+    for large ones."""
+    if size + 1 <= max_points:
+        return list(range(size + 1))
+    stride = max(1, size // (max_points - 8))
+    points = set(range(0, size + 1, stride))
+    points.update({0, 1, 2, size - 2, size - 1, size})
+    return sorted(points)
+
+
+@pytest.mark.parametrize("artifact", ["data", "index"])
+def test_truncating_compaction_artifacts_loses_nothing(tmp_path, artifact):
+    """Truncate the committed segment (or its index) at every byte
+    boundary while the live tail still exists — the crashed-before-
+    cleanup state — and ``load()`` must return exactly the
+    pre-compaction record set at every single cut."""
+    expected = populated_store(tmp_path, n=3, writers=("w1",))
+    # Commit the segment but crash before the live files are deleted.
+    with injected_faults(FaultSpec("raise", None, "compact/manifest")):
+        with pytest.raises(InjectedFault):
+            ResultStore(tmp_path).compact()
+    victim = tmp_path / "segments" / f"segment-00000.{artifact}.json"
+    pristine = victim.read_bytes()
+    for cut in _truncation_points(len(pristine)):
+        victim.write_bytes(pristine[:cut])
+        store = ResultStore(tmp_path)
+        assert store.load() == expected, f"diverged at byte {cut}"
+        assert store.scenario_ids() == set(expected), f"ids diverged at {cut}"
+    victim.write_bytes(pristine)
+    assert ResultStore(tmp_path).load() == expected
+
+
+def test_truncating_a_fully_folded_segment_is_detected(tmp_path):
+    """After cleanup the segment is the only copy: truncating it is
+    genuine loss — the store must *detect* it (corrupt_records), drop
+    the records, and let resume re-run them, never serve a torn row."""
+    expected = populated_store(tmp_path)
+    ResultStore(tmp_path).compact()
+    victim = tmp_path / "segments" / "segment-00000.data.json"
+    pristine = victim.read_bytes()
+    victim.write_bytes(pristine[: len(pristine) // 2])
+    store = ResultStore(tmp_path)
+    assert store.load() == {}
+    assert store.corrupt_records == len(expected)
+    assert store.scenario_ids() == set()  # resume re-runs everything
+
+
+# ----------------------------------------------------------------------
+# Lease guard and fencing-token accounting
+# ----------------------------------------------------------------------
+
+
+def test_compact_refuses_while_another_worker_holds_a_lease(tmp_path):
+    from repro.testing.faults import expire_leases
+
+    populated_store(tmp_path)
+    ledger = LeaseLedger(tmp_path, owner="other-worker", ttl=30.0)
+    ledger.plan(["s/00", "s/01"], batch_size=1)
+    ledger.claim("b00000")
+    with pytest.raises(ValueError, match="active lease"):
+        ResultStore(tmp_path).compact()
+    # Once the holder's heartbeat lapses, compaction may proceed.
+    expire_leases(tmp_path, rewind_seconds=60.0)
+    assert ResultStore(tmp_path).compact() is not None
+
+
+def test_agreeing_duplicates_under_two_tokens_count_as_zombie_writes(tmp_path):
+    result = fake_result("s/00")
+    with ResultStore(tmp_path, writer="w1") as a:
+        a.append(result, lease=Lease("b00000", 1, "w1"))
+    with ResultStore(tmp_path, writer="w2") as b:
+        b.append(result, lease=Lease("b00000", 2, "w2"))
+    store = ResultStore(tmp_path)
+    assert store.load() == {"s/00": result}  # payloads agree -> merged
+    assert store.zombie_writes == 1
+    # The token survives compaction: fold everything and re-check.
+    store.compact()
+    with ResultStore(tmp_path, writer="w3") as c:
+        c.append(result, lease=Lease("b00000", 3, "w3"))
+    reread = ResultStore(tmp_path)
+    assert reread.load() == {"s/00": result}
+    assert reread.zombie_writes == 1
+
+
+def test_disagreeing_duplicates_still_raise_regardless_of_tokens(tmp_path):
+    with ResultStore(tmp_path, writer="w1") as a:
+        a.append(fake_result("s/00", value=0.5), lease=Lease("b0", 1, "w1"))
+    with ResultStore(tmp_path, writer="w2") as b:
+        b.append(fake_result("s/00", value=0.9), lease=Lease("b0", 2, "w2"))
+    with pytest.raises(ValueError, match="two different results"):
+        ResultStore(tmp_path).load()
+
+
+def test_segment_files_are_checksummed_canonical_json(tmp_path):
+    """Pin the on-disk segment format: canonical JSON, index checksums
+    that actually cover the data bytes."""
+    populated_store(tmp_path, n=2, writers=("w1",))
+    ResultStore(tmp_path).compact()
+    index = json.loads(
+        (tmp_path / "segments" / "segment-00000.index.json").read_text()
+    )
+    data_bytes = (tmp_path / "segments" / "segment-00000.data.json").read_bytes()
+    import hashlib
+
+    assert index["data_bytes"] == len(data_bytes)
+    assert index["data_sha256"] == hashlib.sha256(data_bytes).hexdigest()
+    assert index["scenario_ids"] == ["s/00", "s/01"]
+    manifest = json.loads(
+        (tmp_path / "segments" / "MANIFEST.json").read_text()
+    )
+    assert [s["name"] for s in manifest["segments"]] == ["segment-00000"]

@@ -196,12 +196,13 @@ def test_ingest_keeps_failure_ledgers(tmp_path):
     store_a.bind(grid)
     store_b.bind(grid)
     with store_b:
-        store_b.record_failure("s/9", 1, "timeout", "hung for 600s")
+        entry = store_b.record_failure(
+            "s/9", 1, "timeout", "hung for 600s", duration=600.25
+        )
     store_a.ingest(store_b)
-    assert ResultStore(a).failures() == [
-        {"scenario_id": "s/9", "attempt": 1, "kind": "timeout",
-         "detail": "hung for 600s"}
-    ]
+    assert ResultStore(a).failures() == [entry]
+    assert entry["duration_seconds"] == 600.25
+    assert entry["wall_time"] > 0
 
 
 def test_ingest_renames_colliding_writer_files(tmp_path):

@@ -180,10 +180,91 @@ def test_cli_campaign_flag_dependencies(tmp_path):
         main(["--resume"])
     with pytest.raises(SystemExit, match="--campaign"):
         main(["--shard", "0/2"])
-    with pytest.raises(SystemExit, match="shard"):
-        main(["--campaign", str(tmp_path / "s"), "--shard", "2/2"])
+    with pytest.raises(SystemExit, match="--campaign"):
+        main(["--elastic"])
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        main(["--campaign", str(tmp_path / "s"), "--elastic",
+              "--shard", "0/2"])
     with pytest.raises(SystemExit, match="failure policy"):
         main(["--campaign", str(tmp_path / "s"), "--on-failure", "panic"])
+
+
+# ("-1/2" looks like an option to argparse and dies with its own
+# "expected one argument" error; parse_shard's unit test covers it.)
+@pytest.mark.parametrize("spec", ["2/2", "0/0", "3/2", "a/b", "1"])
+def test_cli_shard_is_validated_at_parse_time(capsys, spec):
+    """Malformed --shard specs die in argparse with an error naming the
+    flag, not later as a raw exception from the campaign layer."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--campaign", "unused", "--shard", spec])
+    assert excinfo.value.code == 2  # argparse usage error
+    err = capsys.readouterr().err
+    assert "--shard" in err
+    assert "bad shard spec" in err
+
+
+def test_cli_elastic_campaign_status_and_compact(capsys, tmp_path):
+    """End-to-end elastic flow: no --shard arithmetic, two workers over
+    one store (the second finds everything leased and done), then
+    --status renders the health surface, --compact folds the records,
+    and --serial-check still passes on the compacted store."""
+    store = tmp_path / "store"
+    argv = [
+        "--workloads", "web_0",
+        "--days", "0.01",
+        "--blocks", "64", "--pages-per-block", "64",
+        "--seeds", "2",
+        "--campaign", str(store),
+        "--elastic", "--lease-batch", "1",
+    ]
+    assert main(argv + ["--worker-name", "wA", "--serial-check"]) == 0
+    out = capsys.readouterr().out
+    assert "elastic worker wA" in out
+    assert "serial check" in out
+    # A second elastic worker needs no --resume: sharing is the design.
+    assert main(argv + ["--worker-name", "wB"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed: 2 scenario(s)" in out
+    # --status from store state alone: progress, leases, failures.
+    assert main(["--status", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "progress: 2/2 scenario(s)" in out
+    assert "b00000: done" in out and "b00001: done" in out
+    assert "failed attempts: 0" in out
+    # --compact folds the live tail; the report must survive unchanged.
+    assert main(["--compact", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "compacted 2 record(s)" in out
+    assert main(argv + ["--worker-name", "wC", "--serial-check"]) == 0
+    out = capsys.readouterr().out
+    assert "serial check" in out
+    # Post-compaction status reads segments + live tail only.
+    assert main(["--status", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "1 segment(s) holding 2 record(s)" in out
+
+
+def test_cli_status_rejects_uninitialized_directory(tmp_path):
+    with pytest.raises(SystemExit, match="not an initialized"):
+        main(["--status", str(tmp_path / "nope")])
+    with pytest.raises(SystemExit, match="not an initialized"):
+        main(["--compact", str(tmp_path / "nope")])
+
+
+def test_cli_campaign_progress_lines(capsys, tmp_path):
+    """--progress N prints periodic progress lines from the running
+    campaign (at least one, since the interval also flushes per poll)."""
+    store = tmp_path / "store"
+    assert main([
+        "--workloads", "web_0",
+        "--days", "0.01",
+        "--blocks", "64", "--pages-per-block", "64",
+        "--campaign", str(store),
+        "--progress", "0.05",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "progress:" in out
+    assert "completed" in out
 
 
 def test_cli_runs_a_multi_cell_ablation(capsys, tmp_path):

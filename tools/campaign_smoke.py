@@ -1,7 +1,10 @@
-"""CI smoke: a campaign survives worker crashes and a parent SIGKILL.
+"""CI smoke: campaigns survive worker crashes, parent SIGKILLs, and
+elastic-worker deaths.
 
-Drives the real ``python -m repro.sweep --campaign`` CLI end to end
-through the full recovery story, deterministically:
+Drives the real ``python -m repro.sweep`` CLI end to end through two
+recovery stories, deterministically:
+
+**Kill-and-resume** (``--campaign`` + ``--resume``):
 
 1. Launch a small campaign with two faults armed through the
    :mod:`repro.testing.faults` env hooks: scenario *k* hard-crashes its
@@ -15,8 +18,20 @@ through the full recovery story, deterministically:
    missing scenario and the merged report must be bit-identical to the
    uninterrupted in-process serial reference.
 
-Exit code 0 means the whole story held, including the crash attempt
-being visible in the store's failure ledger.
+**Elastic reclaim** (``--elastic``, no shard arithmetic):
+
+1. Start elastic worker A with a hang fault on the first scenario and a
+   short lease TTL: A claims batch ``b00000`` and is pinned mid-lease,
+   heartbeating but never finishing.
+2. Start elastic worker B (no faults) over the *same* store with
+   ``--serial-check``: B completes every other batch, then spins on
+   ``b00000`` — held live by A's heartbeats.
+3. SIGKILL A's process group mid-lease.  B reclaims the batch once the
+   heartbeat lapses (with a higher fencing token), finishes the grid,
+   and its serial check must pass bit-for-bit.
+
+Exit code 0 means both stories held, including the crash attempt in
+the failure ledger and the fenced re-claim in the lease file.
 
 Run from the repo root: ``PYTHONPATH=src python tools/campaign_smoke.py``.
 """
@@ -59,7 +74,7 @@ def scenario_ids() -> list[str]:
     return [s.scenario_id for s in grid]
 
 
-def main() -> int:
+def kill_resume_smoke() -> int:
     ids = scenario_ids()
     crash_target, hang_target = ids[1], ids[-1]
     with tempfile.TemporaryDirectory() as tmp:
@@ -110,6 +125,93 @@ def main() -> int:
             return 1
     print("campaign kill-and-resume smoke: OK")
     return 0
+
+
+def elastic_smoke() -> int:
+    from repro.parallel.leases import LeaseLedger
+
+    ids = sorted(scenario_ids())
+    hang_target = ids[0]  # sorted ids, batch size 1 -> batch b00000
+    lease_ttl = "2.0"
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "store"
+        elastic_argv = [
+            sys.executable, "-m", "repro.sweep",
+            "--workloads", "web_0",
+            "--seeds", str(SEEDS),
+            "--days", "0.02",
+            "--blocks", "64", "--pages-per-block", "64",
+            "--campaign", str(store),
+            "--elastic", "--lease-batch", "1", "--lease-ttl", lease_ttl,
+        ]
+        env_a = dict(os.environ, **{ENV_FAULTS: f"hang:*:{hang_target}"})
+        print(f"[1/4] elastic worker A pinned mid-lease (hang@{hang_target})")
+        worker_a = subprocess.Popen(
+            elastic_argv + ["--worker-name", "wA", "--workers", "1"],
+            env=env_a,
+            start_new_session=True,
+        )
+        worker_b = None
+        try:
+            deadline = time.monotonic() + 300
+            claims = store / "leases" / "b00000.jsonl"
+            while not claims.exists():
+                if worker_a.poll() is not None:
+                    print("FAIL: worker A exited before claiming its lease")
+                    return 1
+                if time.monotonic() > deadline:
+                    print("FAIL: worker A never claimed a lease")
+                    return 1
+                time.sleep(0.1)
+            print("[2/4] elastic worker B joins the same store")
+            worker_b = subprocess.Popen(
+                elastic_argv + ["--worker-name", "wB", "--workers", "2",
+                                "--serial-check"],
+                start_new_session=True,
+            )
+            # B drains every batch except A's; A heartbeats but never
+            # finishes (its only scenario hangs).
+            others = set(ids) - {hang_target}
+            while ResultStore(store).scenario_ids() != others:
+                for name, worker in (("A", worker_a), ("B", worker_b)):
+                    if worker.poll() is not None:
+                        print(f"FAIL: worker {name} exited prematurely")
+                        return 1
+                if time.monotonic() > deadline:
+                    print("FAIL: worker B made no progress")
+                    return 1
+                time.sleep(0.2)
+        finally:
+            try:
+                os.killpg(worker_a.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            worker_a.wait()
+        print("[3/4] SIGKILL'd worker A mid-lease; B must reclaim and finish")
+        if worker_b.wait(timeout=300) != 0:
+            print("FAIL: survivor worker B (or its serial check) failed")
+            return 1
+        stored = ResultStore(store).scenario_ids()
+        if stored != set(ids):
+            print(f"FAIL: elastic store incomplete: {sorted(stored)}")
+            return 1
+        state = LeaseLedger(store, owner="smoke-check").state("b00000")
+        if not state.done or state.token < 2 or state.owner != "wB":
+            print(f"FAIL: b00000 was not fenced and reclaimed by B: {state}")
+            return 1
+        print(
+            f"[4/4] B reclaimed b00000 with fencing token {state.token} "
+            f"and --serial-check passed"
+        )
+    print("elastic reclaim smoke: OK")
+    return 0
+
+
+def main() -> int:
+    code = kill_resume_smoke()
+    if code != 0:
+        return code
+    return elastic_smoke()
 
 
 if __name__ == "__main__":
