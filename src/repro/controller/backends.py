@@ -23,12 +23,15 @@ mapped host reads.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import partial
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import obs
 from repro.rng import RngFactory, spawn_key
 from repro.units import VPASS_NOMINAL
 from repro.core.rdr import RdrConfig, ReadDisturbRecovery
@@ -367,6 +370,17 @@ class FlashChipBackend:
         self.fault_patterns = {
             name: 0 for name in PATTERN_NAMES if name != "clean"
         }
+        # Telemetry handles (shared no-op singletons when disabled).
+        # Out-of-band only: these mirror the accounting counters above,
+        # they never feed RNG streams or results.
+        self._obs_decode_seconds = obs.histogram("physics.decode_pages.seconds")
+        self._obs_miscorrections = obs.counter("ecc.rs.miscorrections")
+        self._obs_uncorrectable = obs.counter("ecc.uncorrectable_pages")
+        self._obs_rdr_attempts = obs.counter("physics.rdr.attempts")
+        # Parent span id for per-block task records; set only around the
+        # in-process executor.map of a traced flush (detail "block"), so
+        # process-pool workers (forked with this at None) emit nothing.
+        self._trace_block_parent: str | None = None
 
     # ------------------------------------------------------------------
     # Engine protocol
@@ -527,21 +541,48 @@ class FlashChipBackend:
         self.flush_programs()
         if ppns.size == 0:
             return
-        tasks = self._plan_reads(ppns)
+        tracer = obs.tracer()
+        if not tracer.detail_flush:
+            self._flush_reads_inner(ppns, now, tracer)
+            return
+        with tracer.span("physics.flush", reads=int(ppns.size)):
+            self._flush_reads_inner(ppns, now, tracer)
+
+    def _flush_reads_inner(self, ppns: np.ndarray, now: float, tracer) -> None:
+        # Phase spans only at detail "flush"+; the histogram observes at
+        # every detail (it is a metric, not a span).
+        if tracer.detail_flush:
+            span = tracer.span
+        else:
+            span = lambda name, **attrs: nullcontext(None)  # noqa: E731
+        with span("physics.plan"):
+            tasks = self._plan_reads(ppns)
+        t_start = time.monotonic()
         if self._use_process_pool(len(tasks)):
             payloads = [
                 (task.block_id, task.wordlines, task.counts, task.pages, now)
                 for task in tasks
             ]
-            outcomes = self._process_map(_run_read_task, payloads)
-            self._merge_outcomes(outcomes, now)
+            with span("physics.execute", blocks=len(tasks)):
+                outcomes = self._process_map(_run_read_task, payloads)
+            self._obs_decode_seconds.observe(time.monotonic() - t_start)
+            with span("physics.merge", blocks=len(tasks)):
+                self._merge_outcomes(outcomes, now)
             self._settle_arena(task.block_id for task in tasks)
             return
         execute = partial(self._sense_and_decode, now=now)
         limit = self._store.resident_limit if self._store is not None else None
         if limit is None:
-            outcomes = self.executor.map(execute, tasks)
-            self._merge_outcomes(outcomes, now)
+            with span("physics.execute", blocks=len(tasks)) as execute_span:
+                if execute_span is not None and tracer.detail_block:
+                    self._trace_block_parent = execute_span.id
+                try:
+                    outcomes = self.executor.map(execute, tasks)
+                finally:
+                    self._trace_block_parent = None
+            self._obs_decode_seconds.observe(time.monotonic() - t_start)
+            with span("physics.merge", blocks=len(tasks)):
+                self._merge_outcomes(outcomes, now)
             return
         # Out-of-core: one flush can touch far more blocks than the
         # residency budget, so execute/merge/settle in LRU-sized chunks.
@@ -556,6 +597,7 @@ class FlashChipBackend:
             outcomes = self.executor.map(execute, chunk)
             self._merge_outcomes(outcomes, now, rescued)
             self._settle_arena(task.block_id for task in chunk)
+        self._obs_decode_seconds.observe(time.monotonic() - t_start)
 
     def _plan_reads(self, ppns: np.ndarray) -> list[BlockReadTask]:
         """Grouping/planning pass: one :class:`BlockReadTask` per block.
@@ -590,6 +632,35 @@ class FlashChipBackend:
         return tasks
 
     def _sense_and_decode(
+        self, task: BlockReadTask, now: float
+    ) -> BlockReadOutcome:
+        """:meth:`_sense_decode_block`, plus an optional per-block span.
+
+        The span (detail "block") uses a parent-derived id via
+        :meth:`~repro.obs.tracing.Tracer.record`, so concurrent tasks
+        consume no shared sequence and ids stay deterministic under any
+        thread interleaving.  ``_trace_block_parent`` is only ever set
+        around the in-process executor.map of a traced flush — forked
+        process-pool workers hold it at ``None`` and emit nothing.
+        """
+        parent = self._trace_block_parent
+        if parent is None:
+            return self._sense_decode_block(task, now)
+        tracer = obs.tracer()
+        t0 = time.monotonic()
+        outcome = self._sense_decode_block(task, now)
+        tracer.record(
+            "physics.block",
+            t0,
+            time.monotonic(),
+            span_id=tracer.child_id(parent, f"b{task.block_id}"),
+            parent=parent,
+            block=task.block_id,
+            pages=int(task.pages.size),
+        )
+        return outcome
+
+    def _sense_decode_block(
         self, task: BlockReadTask, now: float
     ) -> BlockReadOutcome:
         """Execute one block's task: bulk disturb charge, then decode.
@@ -666,6 +737,7 @@ class FlashChipBackend:
                 continue
             first = int(failures[0])
             self.uncorrectable_pages += 1
+            self._obs_uncorrectable.inc()
             if outcome.patterns is not None:
                 self._count_pattern(int(outcome.patterns[first]))
             # The block is queued for relocation; pages after the failure
@@ -688,6 +760,7 @@ class FlashChipBackend:
         if miscorrected is not None:
             for index in np.flatnonzero(miscorrected[:counted]):
                 self.miscorrected_pages += 1
+                self._obs_miscorrections.inc()
                 if outcome.patterns is not None:
                     self._count_pattern(int(outcome.patterns[index]))
         if outcome.injected is not None:
@@ -847,6 +920,7 @@ class FlashChipBackend:
         rescued.add((block, wordline))
         fb = self._blocks[block]
         self.rdr_attempts += 1
+        self._obs_rdr_attempts.inc()
         outcome, recovered = self.rdr.rescue_wordline(
             fb, wordline, now, self._wordline_capability
         )

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.units import SECONDS_PER_DAY
 from repro.controller.backends import CounterBackend, PhysicsBackend
 from repro.controller.ftl import BlockState, FtlObserver, PageMappingFtl, SsdConfig
@@ -134,6 +135,10 @@ class SimulationEngine(FtlObserver):
         self._resets: list[tuple[int, int]] = []  # (block, epoch)
         #: blocks relocated because the backend escalated a failure.
         self.recovery_relocations = 0
+        # Telemetry handles; re-fetched in run_trace so a registry armed
+        # after construction is still observed.
+        self._windows_counter = obs.counter("engine.windows")
+        self._maintenance_counter = obs.counter("engine.maintenance_runs")
 
     # ------------------------------------------------------------------
     # FtlObserver: mapping events -> backend and/or change log
@@ -222,6 +227,10 @@ class SimulationEngine(FtlObserver):
             # hook and keep forwarding events to theirs.
             self._chained_observer = self.ftl.observer
             self.ftl.observer = self
+        # Telemetry handles, fetched once per run (no-op singletons when
+        # disabled — the gated bench holds the overhead line).
+        self._windows_counter = obs.counter("engine.windows")
+        self._maintenance_counter = obs.counter("engine.maintenance_runs")
         if self.batch:
             return self._run_batched(trace, on_window)
         return self._run_serial(trace, on_window)
@@ -268,27 +277,34 @@ class SimulationEngine(FtlObserver):
         run_window = (
             self._run_window_counter if self._counter_only else self._run_window_physics
         )
+        tracer = obs.tracer()
         start = 0
-        for boundary, split in zip(boundaries, splits):
+        for index, (boundary, split) in enumerate(zip(boundaries, splits)):
             split = int(split)
-            if split > start:
-                run_window(
-                    timestamps[start:split], ops[start:split], lpns[start:split]
-                )
-            self._flush_reads()
-            self._drain_relocations()
-            self._run_maintenance(float(boundary))
-            self._next_maintenance = float(boundary) + self.maintenance_period
-            self._drain_relocations()
+            with tracer.span("engine.window", window=index, ops=split - start):
+                if split > start:
+                    run_window(
+                        timestamps[start:split], ops[start:split], lpns[start:split]
+                    )
+                self._flush_reads()
+                self._drain_relocations()
+                self._run_maintenance(float(boundary))
+                self._next_maintenance = float(boundary) + self.maintenance_period
+                self._drain_relocations()
+            self._windows_counter.inc()
             if on_window is not None:
                 on_window(self)
             start = split
-        if timestamps.size > start:
-            run_window(timestamps[start:], ops[start:], lpns[start:])
-        self._flush_reads()
-        self._drain_relocations()
-        self._run_maintenance(self.now)
-        self._drain_relocations()
+        with tracer.span(
+            "engine.window", window=len(boundaries), ops=int(timestamps.size) - start
+        ):
+            if timestamps.size > start:
+                run_window(timestamps[start:], ops[start:], lpns[start:])
+            self._flush_reads()
+            self._drain_relocations()
+            self._run_maintenance(self.now)
+            self._drain_relocations()
+        self._windows_counter.inc()
         if on_window is not None:
             on_window(self)
         return self._stats(trace)
@@ -487,6 +503,7 @@ class SimulationEngine(FtlObserver):
         self.refresh.run(self.ftl, now)
         if self.reclaim is not None:
             self.reclaim.run(self.ftl, now)
+        self._maintenance_counter.inc()
 
     def _stats(self, trace: IoTrace) -> SsdRunStats:
         return SsdRunStats(

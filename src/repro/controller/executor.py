@@ -39,6 +39,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Protocol, runtime_checkable
 
+from repro import obs
+
 #: executor kinds accepted by :func:`resolve_executor` and
 #: :class:`~repro.workloads.grid.BackendSpec`.
 EXECUTOR_KINDS = ("serial", "threaded", "process")
@@ -86,6 +88,7 @@ class SerialExecutor:
     workers = 1
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        obs.counter("executor.serial.tasks").inc(len(tasks))
         return [fn(task) for task in tasks]
 
     def __repr__(self) -> str:
@@ -114,6 +117,7 @@ class ThreadedExecutor:
         self._pool: ThreadPoolExecutor | None = None
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        obs.counter("executor.threaded.tasks").inc(len(tasks))
         if self.workers == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
         if self._pool is None:
@@ -188,6 +192,7 @@ class ProcessExecutor:
         rather than pickled; subsequent calls must pass the same owner.
         Single-payload calls (and ``workers == 1``) bypass the pool.
         """
+        obs.counter("executor.process.tasks").inc(len(payloads))
         if self.workers == 1 or len(payloads) <= 1:
             return [fn(payload) for payload in payloads]
         owner = initargs[0] if initargs else None

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import asdict
 
+from repro import obs
 from repro.units import SECONDS_PER_DAY
 from repro.controller.backends import CounterBackend, FlashChipBackend, PhysicsBackend
 from repro.ecc import DEFAULT_ECC, EccConfig
@@ -101,7 +102,9 @@ def extract_result(
     )
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
+def run_scenario(
+    scenario: Scenario, span_parent: str | None = None
+) -> ScenarioResult:
     """Execute one scenario from scratch and return its result.
 
     This is the pure function the sweep runner fans out: trace
@@ -111,7 +114,25 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     (:mod:`repro.workloads.trace_cache`): repeated runs of one scenario
     reuse a single frozen trace, and fork-start sweep workers inherit
     pre-warmed traces copy-on-write instead of regenerating them.
+
+    *span_parent* (telemetry only — never touches the result) links this
+    run's ``scenario.run`` span under another process's span, e.g. the
+    campaign scheduler's per-attempt span.
     """
+    tracer = obs.tracer()
+    span = tracer.begin(
+        "scenario.run", parent=span_parent, scenario=scenario.scenario_id
+    )
+    try:
+        result = _run_scenario_inner(scenario)
+    except BaseException as exc:
+        tracer.end(span, error=type(exc).__name__)
+        raise
+    tracer.end(span)
+    return result
+
+
+def _run_scenario_inner(scenario: Scenario) -> ScenarioResult:
     # The one fault-injection hook of the execution path: a no-op unless
     # a test armed a fault for exactly this scenario id (see
     # repro.testing.faults) — it is how the campaign layer's crash/hang/

@@ -41,6 +41,8 @@ import os
 import tempfile
 import weakref
 from collections import OrderedDict
+
+from repro import obs
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -283,6 +285,7 @@ class BlockStore:
         if hasattr(mmap, "MADV_DONTNEED"):
             self._mmap.madvise(mmap.MADV_DONTNEED, offset, self.layout.slab_bytes)
         self.evictions += 1
+        obs.counter("arena.evictions").inc()
         if self.on_evict is not None:
             self.on_evict(block_id)
 

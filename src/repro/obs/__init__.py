@@ -1,0 +1,195 @@
+"""``repro.obs``: the unified telemetry layer (tracing + metrics + export).
+
+Zero-dependency observability for the whole stack — the engine's
+windows, the flash backend's plan/execute/merge flushes, the three
+block-group executors, the sweep runner, and the campaign layer's
+attempts/leases/store all report here.  Three pieces:
+
+- :mod:`repro.obs.metrics` — a process-local registry of counters/
+  gauges/histograms with shared no-op handles when disabled;
+- :mod:`repro.obs.tracing` — nested timed spans emitted as
+  crash-tolerant, schema-versioned JSONL, one file per participating
+  process, merged by deterministic span ids;
+- :mod:`repro.obs.export` — post-hoc machine-readable snapshots
+  (``metrics.json`` + a Prometheus-style textfile) rendered from
+  store + lease + trace state alone.
+
+**The out-of-band contract.**  Telemetry observes the run; it never
+participates.  Nothing in this package feeds an RNG stream, a scenario
+id, a seed derivation, or a result payload — so every equivalence
+suite (serial vs. threaded vs. process executors, ``workers=1`` vs.
+``workers=N``, resumed vs. uninterrupted campaigns) passes bit-for-bit
+with tracing on, and the disabled path is cheap enough that the
+flash-chip bench gates it at <2% (``telemetry_overhead_ratio`` in
+``BENCH_physics.json``).
+
+**Process model.**  State is module-global and per-process:
+:func:`configure` arms it (usually from the CLI's ``--trace``), forked
+workers inherit it, and each worker that wants a deterministic
+identity calls :func:`rebind` with its logical label (campaign
+scenario workers do; anonymous forked sweep workers fall back to the
+tracer's pid-suffix fork safety).  ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE_DETAIL`` carry the configuration to spawn-start workers
+that share no memory (:func:`configure_from_env`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+)
+from repro.obs.tracing import (
+    DETAIL_LEVELS,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace_dir,
+    load_trace_file,
+    merge_spans,
+    trace_file_paths,
+)
+
+__all__ = [
+    "ENV_TRACE_DIR",
+    "ENV_TRACE_DETAIL",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "configure",
+    "configure_from_env",
+    "counter",
+    "gauge",
+    "histogram",
+    "is_tracing",
+    "rebind",
+    "registry",
+    "reset",
+    "tracer",
+    "load_trace_dir",
+    "load_trace_file",
+    "merge_spans",
+    "trace_file_paths",
+]
+
+#: environment carriers of the trace configuration (for workers that
+#: do not inherit this process's memory).
+ENV_TRACE_DIR = "REPRO_TRACE_DIR"
+ENV_TRACE_DETAIL = "REPRO_TRACE_DETAIL"
+
+_registry = MetricsRegistry(enabled=False)
+_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def registry() -> MetricsRegistry:
+    """The process's metrics registry (disabled until :func:`configure`)."""
+    return _registry
+
+
+def counter(name: str):
+    """Shorthand: ``registry().counter(name)``."""
+    return _registry.counter(name)
+
+
+def gauge(name: str):
+    return _registry.gauge(name)
+
+
+def histogram(name: str):
+    return _registry.histogram(name)
+
+
+def tracer() -> Tracer | NullTracer:
+    """The process's tracer (the shared no-op until :func:`configure`)."""
+    return _tracer
+
+
+def is_tracing() -> bool:
+    return _tracer.enabled
+
+
+def configure(
+    trace_dir: str | os.PathLike | None,
+    *,
+    label: str | None = None,
+    detail: str = "coarse",
+    metrics: bool | None = None,
+    propagate: bool = True,
+) -> None:
+    """Arm (or with ``trace_dir=None`` disarm) telemetry in this process.
+
+    *label* defaults to ``p<pid>`` — deterministic callers (the
+    campaign CLI) pass their worker name instead.  *metrics* defaults
+    to "enabled iff tracing is" — pass ``metrics=True`` with
+    ``trace_dir=None`` for a registry without span files.  *propagate*
+    exports the configuration via :data:`ENV_TRACE_DIR` /
+    :data:`ENV_TRACE_DETAIL` so spawn-start workers can pick it up
+    with :func:`configure_from_env`.
+    """
+    global _registry, _tracer
+    _tracer.close()
+    if trace_dir is None:
+        _tracer = NULL_TRACER
+        if propagate:
+            os.environ.pop(ENV_TRACE_DIR, None)
+            os.environ.pop(ENV_TRACE_DETAIL, None)
+    else:
+        _tracer = Tracer(
+            trace_dir,
+            label if label is not None else f"p{os.getpid()}",
+            detail=detail,
+        )
+        if propagate:
+            os.environ[ENV_TRACE_DIR] = str(trace_dir)
+            os.environ[ENV_TRACE_DETAIL] = detail
+    enabled = bool(trace_dir is not None if metrics is None else metrics)
+    _registry = MetricsRegistry(enabled=enabled)
+
+
+def configure_from_env(label: str | None = None) -> bool:
+    """Arm telemetry from the environment carriers, if set.
+
+    The entry hook for workers that share no memory with the
+    configuring process.  Returns whether tracing is armed after the
+    call; already-armed processes are left untouched (fork-start
+    workers inherit live state, which wins over the env)."""
+    if _tracer.enabled:
+        return True
+    directory = os.environ.get(ENV_TRACE_DIR)
+    if not directory:
+        return False
+    configure(
+        directory,
+        label=label,
+        detail=os.environ.get(ENV_TRACE_DETAIL, "coarse"),
+        propagate=False,
+    )
+    return True
+
+
+def rebind(label: str) -> None:
+    """Give this process's tracer a fresh deterministic identity.
+
+    Called by workers that inherited a configured tracer (fork) or
+    found one in the env (spawn) and know their logical name — e.g. a
+    campaign scenario worker's ``<worker>.<scenario>.a<attempt>``.
+    The new tracer starts a fresh file and id sequence, so span ids
+    are stable across runs regardless of pids or scheduling."""
+    global _tracer
+    if not _tracer.enabled:
+        return
+    old = _tracer
+    _tracer = Tracer(old.directory, label, detail=old.detail)
+    # Never close the inherited handle: after a fork it is the
+    # parent's fd.  The old tracer object is simply dropped.
+
+
+def reset() -> None:
+    """Disarm telemetry and drop all state (test isolation hook)."""
+    configure(None)

@@ -1,0 +1,244 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (spans are the
+other).  It is deliberately primitive — plain Python objects, no
+background threads, no sockets, no dependencies — because its job is to
+*count* out-of-band, never to participate in the simulation:
+
+- **Counters** only go up (``engine.windows``,
+  ``ecc.rs.miscorrections``, ``campaign.lease.renewals``,
+  ``arena.evictions``).
+- **Gauges** hold the latest value (``campaign.inflight``).
+- **Histograms** fold observations into count/total/min/max
+  (``physics.decode_pages.seconds``) — enough for rates and means
+  without keeping samples.
+
+**The disabled path is a no-op, not a cheap op.**  A disabled registry
+hands out shared no-op singletons whose ``inc``/``set``/``observe`` do
+nothing and allocate nothing, so instrumented hot paths cost one
+attribute call when telemetry is off (the <2% bench gate in
+``tools/check_bench.py`` holds the line).  Handles may be fetched once
+and kept: they stay valid for the registry's lifetime.
+
+Naming scheme: dotted, lowercase, ``<subsystem>.<thing>[.<unit>]`` —
+e.g. ``physics.decode_pages.seconds``.  The Prometheus rendering
+(:meth:`MetricsRegistry.render_prometheus`) maps dots to underscores
+under a ``repro_`` prefix.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """The most recent value of a quantity."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/total/min/max of observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+        }
+
+
+class _NoopCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NoopGauge:
+    __slots__ = ()
+    value = 0
+
+    def set(self, value: int | float) -> None:
+        pass
+
+
+class _NoopHistogram:
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"count": 0, "total": 0.0, "min": None, "max": None,
+                "mean": None}
+
+
+#: the shared handles a disabled registry returns — one instance each,
+#: so "telemetry off" allocates nothing per call site.
+NOOP_COUNTER = _NoopCounter()
+NOOP_GAUGE = _NoopGauge()
+NOOP_HISTOGRAM = _NoopHistogram()
+
+
+def prometheus_name(name: str) -> str:
+    """Map a dotted metric name to its Prometheus series name."""
+    return "repro_" + name.replace(".", "_")
+
+
+class MetricsRegistry:
+    """Create-or-fetch named metric handles; snapshot and render them.
+
+    A name is bound to one kind forever — asking for
+    ``counter("engine.windows")`` after ``gauge("engine.windows")``
+    raises, so two call sites cannot silently split a series.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Handles
+    # ------------------------------------------------------------------
+
+    def _check_name(self, name: str, table: dict) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"bad metric name {name!r}: want dotted lowercase like "
+                f"'physics.decode_pages.seconds'"
+            )
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not table and name in other:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter | _NoopCounter:
+        if not self.enabled:
+            return NOOP_COUNTER
+        handle = self._counters.get(name)
+        if handle is None:
+            self._check_name(name, self._counters)
+            handle = self._counters[name] = Counter()
+        return handle
+
+    def gauge(self, name: str) -> Gauge | _NoopGauge:
+        if not self.enabled:
+            return NOOP_GAUGE
+        handle = self._gauges.get(name)
+        if handle is None:
+            self._check_name(name, self._gauges)
+            handle = self._gauges[name] = Gauge()
+        return handle
+
+    def histogram(self, name: str) -> Histogram | _NoopHistogram:
+        if not self.enabled:
+            return NOOP_HISTOGRAM
+        handle = self._histograms.get(name)
+        if handle is None:
+            self._check_name(name, self._histograms)
+            handle = self._histograms[name] = Histogram()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every registered series."""
+        return {
+            "counters": {
+                name: handle.value
+                for name, handle in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: handle.value
+                for name, handle in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: handle.summary()
+                for name, handle in sorted(self._histograms.items())
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the registry's current state."""
+        return render_prometheus(self.snapshot())
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot`-shaped dict as a
+    Prometheus-style textfile (also used by :mod:`repro.obs.export` for
+    post-hoc snapshots built from store/trace state)."""
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        series = prometheus_name(name)
+        lines.append(f"# TYPE {series}_total counter")
+        lines.append(f"{series}_total {value}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        series = prometheus_name(name)
+        lines.append(f"# TYPE {series} gauge")
+        lines.append(f"{series} {value}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        series = prometheus_name(name)
+        lines.append(f"# TYPE {series} summary")
+        lines.append(f"{series}_count {summary['count']}")
+        lines.append(f"{series}_sum {summary['total']}")
+    return "\n".join(lines) + "\n"

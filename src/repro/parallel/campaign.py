@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import re
 import socket
 import time
 import traceback
@@ -62,6 +63,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
 
+from repro import obs
 from repro.parallel.leases import (
     DEFAULT_LEASE_TTL,
     LeaseLedger,
@@ -79,6 +81,11 @@ from repro.workloads.grid import Scenario, ScenarioGrid
 # repro.controller.factory is imported lazily (see runner.py: the factory
 # imports repro.parallel.results, so importing it here would be circular
 # at package init).
+
+
+def _trace_slug(scenario_id: str) -> str:
+    """Filename-safe form of a scenario id for trace labels."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", scenario_id)
 
 
 def shard_of(scenario_id: str, shards: int) -> int:
@@ -242,7 +249,12 @@ class StreamingAggregate:
         }
 
 
-def _campaign_worker(conn, scenario: Scenario) -> None:
+def _campaign_worker(
+    conn,
+    scenario: Scenario,
+    trace_label: str | None = None,
+    span_parent: str | None = None,
+) -> None:
     """Worker entry: run one scenario, report through the pipe, exit.
 
     Runs in its own (non-daemonic) process so any failure mode — an
@@ -251,11 +263,21 @@ def _campaign_worker(conn, scenario: Scenario) -> None:
     isolated to this one attempt.  Non-daemonic matters: a scenario is
     free to fork its own block-group executor pool under ``workers=1``
     campaigns, exactly like the in-process sweep path.
+
+    *trace_label* / *span_parent* carry the parent's telemetry identity
+    in: the worker traces into its own deterministically named file,
+    with its ``scenario.run`` root span parented (cross-file) under the
+    scheduler's per-attempt span.
     """
     from repro.controller.factory import run_scenario
 
+    if trace_label is not None:
+        # Fork-inherited state wins over the env; rebind gives this
+        # worker its own file and a pid-free deterministic id prefix.
+        obs.configure_from_env(label=trace_label)
+        obs.rebind(trace_label)
     try:
-        result = run_scenario(scenario)
+        result = run_scenario(scenario, span_parent=span_parent)
         conn.send(("ok", result))
     except BaseException:  # noqa: BLE001 - reported to the parent
         try:
@@ -289,6 +311,10 @@ class _Running:
     deadline: float | None
     #: monotonic launch time — failure-ledger durations derive from it.
     started: float = 0.0
+    #: the scheduler's detached per-attempt span (None when not tracing);
+    #: begun at launch so a SIGKILL'd worker still has an attempt span,
+    #: ended at reap with the outcome attribute.
+    span: object = None
 
     def reap(self) -> int | None:
         """Join the process and close the parent's pipe end."""
@@ -442,6 +468,9 @@ class Campaign:
         self._ledger_handle: LeaseLedger | None = None
         self._last_renew = 0.0
         self._last_progress = 0.0
+        # Telemetry: the campaign.run root span's id (attempt spans and
+        # worker scenario spans hang off it); None when not tracing.
+        self._root_span_id: str | None = None
 
     # ------------------------------------------------------------------
     # Shard / scope helpers
@@ -490,13 +519,32 @@ class Campaign:
             # copy-on-write (identical results either way — generation
             # is deterministic in the scenario).
             warm_trace_cache(to_run)
+        tracer = obs.tracer()
+        root_span = None
+        if tracer.enabled:
+            root_span = tracer.begin(
+                "campaign.run",
+                worker=self.worker_name,
+                scenarios=len(self.scenarios),
+                resumed=self.resumed,
+                elastic=self.elastic,
+            )
+            self._root_span_id = root_span.id
         try:
             if self.elastic:
                 self._run_elastic(context, progress)
             else:
                 self._execute(to_run, context, progress)
+        except BaseException as exc:
+            if root_span is not None:
+                tracer.end(root_span, error=type(exc).__name__)
+                root_span = None
+            raise
         finally:
             self.store.close()
+            if root_span is not None:
+                tracer.end(root_span, completed=self.aggregate.completed)
+            self._root_span_id = None
         return self.report()
 
     def _run_elastic(self, context, progress) -> None:
@@ -610,13 +658,36 @@ class Campaign:
             for running in inflight.values():
                 running.process.kill()
                 running.reap()
+                self._end_attempt_span(running, "aborted")
             raise
 
     def _launch(self, entry: _Attempt, context) -> _Running:
         parent_conn, child_conn = context.Pipe(duplex=False)
+        tracer = obs.tracer()
+        trace_label = None
+        span = None
+        if tracer.enabled:
+            # Deterministic worker identity: stable across runs, unique
+            # across this campaign's attempts (the attempt number
+            # disambiguates retries of one scenario).
+            trace_label = (
+                f"{self.worker_name}."
+                f"{_trace_slug(entry.scenario.scenario_id)}.a{entry.attempt}"
+            )
+            # Detached: concurrent attempts overlap arbitrarily, and the
+            # span must outlive this call (ended at reap in _poll) — so
+            # it never sits on the scheduler thread's span stack.
+            span = tracer.begin(
+                "campaign.attempt",
+                parent=self._root_span_id,
+                detached=True,
+                scenario=entry.scenario.scenario_id,
+                attempt=entry.attempt,
+            )
         process = context.Process(
             target=_campaign_worker,
-            args=(child_conn, entry.scenario),
+            args=(child_conn, entry.scenario, trace_label,
+                  span.id if span is not None else None),
             name=f"repro-campaign-{entry.scenario.scenario_id}",
         )
         process.start()
@@ -625,7 +696,13 @@ class Campaign:
         deadline = (
             started + self.timeout if self.timeout is not None else None
         )
-        return _Running(entry, process, parent_conn, deadline, started)
+        return _Running(entry, process, parent_conn, deadline, started, span)
+
+    def _end_attempt_span(self, running: _Running, outcome: str) -> None:
+        """Close one attempt's detached span with its outcome."""
+        if running.span is not None:
+            obs.tracer().end(running.span, outcome=outcome)
+            running.span = None
 
     def _poll(self, queue, inflight, progress) -> None:
         """Wait for one scheduling event: a result, a death, a timeout,
@@ -661,6 +738,7 @@ class Campaign:
             except (EOFError, OSError):
                 exitcode = running.reap()
                 del inflight[scenario_id]
+                self._end_attempt_span(running, "worker-death")
                 self._attempt_failed(
                     queue,
                     running.entry,
@@ -676,11 +754,14 @@ class Campaign:
             running.reap()
             del inflight[scenario_id]
             if kind == "ok":
+                self._end_attempt_span(running, "ok")
                 self.store.append(payload, lease=self._lease)
                 self.aggregate.observe(payload)
+                obs.counter("campaign.completed").inc()
                 if progress is not None and self.progress_interval is None:
                     progress(self.aggregate.snapshot())
             else:
+                self._end_attempt_span(running, "exception")
                 self._attempt_failed(
                     queue,
                     running.entry,
@@ -697,6 +778,7 @@ class Campaign:
             running.process.kill()
             running.reap()
             del inflight[scenario_id]
+            self._end_attempt_span(running, "timeout")
             self._attempt_failed(
                 queue,
                 running.entry,
@@ -728,6 +810,7 @@ class Campaign:
         )
         self.ledger.append(record)
         self.aggregate.observe_failure()
+        obs.counter("campaign.failures").inc()
         if self.policy.kind == "fail_fast":
             raise ScenarioFailure(scenario_id, f"[{kind}] {detail}")
         if self.policy.retry_allowed(entry.attempt):

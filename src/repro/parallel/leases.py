@@ -59,6 +59,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
+
 #: on-disk format identifier for the batch plan.
 PLAN_FORMAT = "repro-campaign-leases"
 PLAN_VERSION = 1
@@ -322,8 +324,16 @@ class LeaseLedger:
         heartbeat check (the zombie-fencing test injector); production
         workers never pass it.
         """
+        tracer = obs.tracer()
+        # The claim span is always ended in-line, with the outcome as an
+        # attribute — an abandoned begin would read as a phantom open
+        # span in the merged trace.  ``takeover`` marks a reclaim of an
+        # expired lease (token >= 2): the observable face of fencing,
+        # since a SIGKILL'd owner never witnesses its own fence.
+        span = tracer.begin("lease.claim", batch=batch_id)
         state = self.state(batch_id)
         if state.done:
+            tracer.end(span, claimed=False, reason="done")
             return None
         held_by_other = (
             state.owner is not None
@@ -331,6 +341,7 @@ class LeaseLedger:
             and state.age() < self.ttl
         )
         if held_by_other and not force:
+            tracer.end(span, claimed=False, reason="held")
             return None
         token = state.token + 1
         self._append(
@@ -342,7 +353,19 @@ class LeaseLedger:
         # after us, last-writer-wins may have handed them the lease.
         after = self.state(batch_id)
         if after.owner == self.owner and after.token == token:
+            obs.counter("campaign.lease.claims").inc()
+            tracer.end(
+                span,
+                claimed=True,
+                token=token,
+                takeover=bool(
+                    token >= 2
+                    and state.owner is not None
+                    and state.owner != self.owner
+                ),
+            )
             return Lease(batch_id=batch_id, token=token, owner=self.owner)
+        tracer.end(span, claimed=False, reason="race")
         return None
 
     def renew(self, lease: Lease) -> bool:
@@ -354,23 +377,37 @@ class LeaseLedger:
         may still land — the fencing token makes them detectable, and
         determinism makes them harmless).
         """
+        tracer = obs.tracer()
         state = self.state(lease.batch_id)
         if state.owner != self.owner or state.token != lease.token:
+            # Observed fence: we found our own lease reassigned.
+            obs.counter("campaign.lease.fenced").inc()
+            span = tracer.begin(
+                "lease.fenced", batch=lease.batch_id, token=lease.token
+            )
+            tracer.end(span, new_owner=state.owner, new_token=state.token)
             return False
-        self._append(
-            lease.batch_id,
-            {"op": "renew", "owner": self.owner, "token": lease.token,
-             "at": time.time()},
-        )
+        with tracer.span(
+            "lease.renew", batch=lease.batch_id, token=lease.token
+        ):
+            self._append(
+                lease.batch_id,
+                {"op": "renew", "owner": self.owner, "token": lease.token,
+                 "at": time.time()},
+            )
+        obs.counter("campaign.lease.renewals").inc()
         return True
 
     def mark_done(self, lease: Lease) -> None:
         """Retire the batch (idempotent; ignored if we were fenced off)."""
-        self._append(
-            lease.batch_id,
-            {"op": "done", "owner": self.owner, "token": lease.token,
-             "at": time.time()},
-        )
+        with obs.tracer().span(
+            "lease.done", batch=lease.batch_id, token=lease.token
+        ):
+            self._append(
+                lease.batch_id,
+                {"op": "done", "owner": self.owner, "token": lease.token,
+                 "at": time.time()},
+            )
 
     def active_leases(self, now: float | None = None) -> list[LeaseState]:
         """Every batch currently held by a live (fresh-heartbeat) worker."""

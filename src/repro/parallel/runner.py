@@ -263,6 +263,7 @@ class SweepRunner:
         deterministic in the scenario, so warming cannot change a bit
         of the report — it only moves generation out of the workers.
         """
+        from repro import obs
         from repro.controller.factory import run_scenario
         from repro.workloads.trace_cache import warm_trace_cache
 
@@ -283,9 +284,12 @@ class SweepRunner:
             and _pool_context().get_start_method() == "fork"
         ):
             warm_trace_cache(scenarios)
-        results: list[ScenarioResult] = self.map(
-            run_scenario, scenarios, labels=ids
-        )
+        with obs.tracer().span(
+            "sweep.run", scenarios=len(scenarios), workers=self.workers
+        ):
+            results: list[ScenarioResult] = self.map(
+                run_scenario, scenarios, labels=ids
+            )
         ordered = tuple(sorted(results, key=lambda r: r.scenario_id))
         return SweepReport(results=ordered, workers=self.workers)
 

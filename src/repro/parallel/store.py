@@ -76,6 +76,7 @@ import shutil
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.parallel.results import ScenarioResult
 
 #: on-disk format identifier (bump STORE_VERSION on incompatible change).
@@ -258,21 +259,23 @@ class ResultStore:
         rather than *what was computed* — so a zombie writer's late
         duplicate is attributable on load (:attr:`zombie_writes`).
         """
-        payload = result.as_dict()
-        record = {"sha256": _payload_sha(payload), "result": payload}
-        if lease is not None:
-            record["lease"] = {
-                "batch": lease.batch_id,
-                "token": lease.token,
-                "owner": lease.owner,
-            }
-        if self._records_file is None:
-            self._records_file = self._open_append(
-                self.records_dir / f"{self.writer}.jsonl"
-            )
-        self._records_file.write(_canonical(record) + "\n")
-        self._records_file.flush()
-        os.fsync(self._records_file.fileno())
+        with obs.tracer().span("store.append", scenario=result.scenario_id):
+            payload = result.as_dict()
+            record = {"sha256": _payload_sha(payload), "result": payload}
+            if lease is not None:
+                record["lease"] = {
+                    "batch": lease.batch_id,
+                    "token": lease.token,
+                    "owner": lease.owner,
+                }
+            if self._records_file is None:
+                self._records_file = self._open_append(
+                    self.records_dir / f"{self.writer}.jsonl"
+                )
+            self._records_file.write(_canonical(record) + "\n")
+            self._records_file.flush()
+            os.fsync(self._records_file.fileno())
+        obs.counter("store.appends").inc()
 
     @staticmethod
     def _open_append(path: Path):
@@ -614,90 +617,99 @@ class ResultStore:
         """
         from repro.testing.faults import maybe_inject
 
-        self._guard_active_leases()
-        live_files = sorted(self.records_dir.glob("*.jsonl"))
-        merged: dict[str, dict] = {}
-        tokens: dict[str, object] = {}
-        self.corrupt_records = 0
-        for scenario_id, payload, token in self._iter_live_records():
-            previous = merged.get(scenario_id)
-            if previous is None:
-                merged[scenario_id] = payload
-                tokens[scenario_id] = token
-            elif previous != payload:
-                raise ValueError(
-                    f"store at {self.root} holds two different results "
-                    f"for scenario {scenario_id!r}; refusing to compact"
+        tracer = obs.tracer()
+        with tracer.span("store.compact"):
+            with tracer.span("store.compact.collect"):
+                self._guard_active_leases()
+                live_files = sorted(self.records_dir.glob("*.jsonl"))
+                merged: dict[str, dict] = {}
+                tokens: dict[str, object] = {}
+                self.corrupt_records = 0
+                for scenario_id, payload, token in self._iter_live_records():
+                    previous = merged.get(scenario_id)
+                    if previous is None:
+                        merged[scenario_id] = payload
+                        tokens[scenario_id] = token
+                    elif previous != payload:
+                        raise ValueError(
+                            f"store at {self.root} holds two different results "
+                            f"for scenario {scenario_id!r}; refusing to compact"
+                        )
+            if len(merged) < max(1, min_records):
+                return None
+            ids = sorted(merged)
+            columns = {
+                "scenario_id": ids,
+                "stats": [merged[i]["stats"] for i in ids],
+                "backend": [merged[i]["backend"] for i in ids],
+                "per_block": [merged[i]["per_block"] for i in ids],
+                "trajectory": [merged[i]["trajectory"] for i in ids],
+                "lease_token": [tokens[i] for i in ids],
+            }
+            assert set(columns) == set(_SEGMENT_COLUMNS)
+            name = self._next_segment_name()
+            data_text = _canonical(
+                {"format": SEGMENT_FORMAT, "version": SEGMENT_VERSION,
+                 "columns": columns}
+            )
+            data_bytes = data_text.encode()
+            with tracer.span("store.compact.data", segment=name):
+                self.segments_dir.mkdir(parents=True, exist_ok=True)
+                data_path = self.segments_dir / f"{name}.data.json"
+                tmp = data_path.with_name(data_path.name + ".tmp")
+                with open(tmp, "w") as handle:
+                    handle.write(data_text)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                maybe_inject("compact/tmp")
+                os.replace(tmp, data_path)
+                self._fsync_dir(self.segments_dir)
+                maybe_inject("compact/data")
+            with tracer.span("store.compact.index", segment=name):
+                index = {
+                    "format": SEGMENT_INDEX_FORMAT,
+                    "version": SEGMENT_VERSION,
+                    "segment": name,
+                    "records": len(ids),
+                    "scenario_ids": ids,
+                    "record_sha256": [_payload_sha(merged[i]) for i in ids],
+                    "data_bytes": len(data_bytes),
+                    "data_sha256": hashlib.sha256(data_bytes).hexdigest(),
+                }
+                self._write_atomic(
+                    self.segments_dir / f"{name}.index.json",
+                    _canonical(index) + "\n",
                 )
-        if len(merged) < max(1, min_records):
-            return None
-        ids = sorted(merged)
-        columns = {
-            "scenario_id": ids,
-            "stats": [merged[i]["stats"] for i in ids],
-            "backend": [merged[i]["backend"] for i in ids],
-            "per_block": [merged[i]["per_block"] for i in ids],
-            "trajectory": [merged[i]["trajectory"] for i in ids],
-            "lease_token": [tokens[i] for i in ids],
-        }
-        assert set(columns) == set(_SEGMENT_COLUMNS)
-        name = self._next_segment_name()
-        data_text = _canonical(
-            {"format": SEGMENT_FORMAT, "version": SEGMENT_VERSION,
-             "columns": columns}
-        )
-        data_bytes = data_text.encode()
-        self.segments_dir.mkdir(parents=True, exist_ok=True)
-        data_path = self.segments_dir / f"{name}.data.json"
-        tmp = data_path.with_name(data_path.name + ".tmp")
-        with open(tmp, "w") as handle:
-            handle.write(data_text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        maybe_inject("compact/tmp")
-        os.replace(tmp, data_path)
-        self._fsync_dir(self.segments_dir)
-        maybe_inject("compact/data")
-        index = {
-            "format": SEGMENT_INDEX_FORMAT,
-            "version": SEGMENT_VERSION,
-            "segment": name,
-            "records": len(ids),
-            "scenario_ids": ids,
-            "record_sha256": [_payload_sha(merged[i]) for i in ids],
-            "data_bytes": len(data_bytes),
-            "data_sha256": hashlib.sha256(data_bytes).hexdigest(),
-        }
-        self._write_atomic(
-            self.segments_dir / f"{name}.index.json",
-            _canonical(index) + "\n",
-        )
-        maybe_inject("compact/index")
-        manifest = self._read_segments_manifest() or {
-            "format": SEGMENTS_MANIFEST_FORMAT,
-            "version": SEGMENT_VERSION,
-            "segments": [],
-        }
-        manifest["segments"].append(
-            {"name": name, "records": len(ids),
-             "data_sha256": index["data_sha256"]}
-        )
-        self._write_atomic(
-            self.segments_manifest_path, json.dumps(manifest, indent=2) + "\n"
-        )
-        maybe_inject("compact/manifest")
-        deleted = 0
-        for path in live_files:
-            path.unlink()
-            deleted += 1
-            if deleted == 1:
-                maybe_inject("compact/cleanup")
-        self._fsync_dir(self.records_dir)
-        return {
-            "segment": name,
-            "records": len(ids),
-            "folded_files": deleted,
-        }
+                maybe_inject("compact/index")
+            with tracer.span("store.compact.manifest", segment=name):
+                manifest = self._read_segments_manifest() or {
+                    "format": SEGMENTS_MANIFEST_FORMAT,
+                    "version": SEGMENT_VERSION,
+                    "segments": [],
+                }
+                manifest["segments"].append(
+                    {"name": name, "records": len(ids),
+                     "data_sha256": index["data_sha256"]}
+                )
+                self._write_atomic(
+                    self.segments_manifest_path,
+                    json.dumps(manifest, indent=2) + "\n",
+                )
+                maybe_inject("compact/manifest")
+            with tracer.span("store.compact.cleanup", segment=name):
+                deleted = 0
+                for path in live_files:
+                    path.unlink()
+                    deleted += 1
+                    if deleted == 1:
+                        maybe_inject("compact/cleanup")
+                self._fsync_dir(self.records_dir)
+            obs.counter("store.compactions").inc()
+            return {
+                "segment": name,
+                "records": len(ids),
+                "folded_files": deleted,
+            }
 
     def _next_segment_name(self) -> str:
         """First segment name not taken by the manifest *or* stray files

@@ -56,10 +56,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import threading
+import time
 from pathlib import Path
 
+from repro import obs
 from repro.analysis.reporting import format_table
+from repro.obs.tracing import DETAIL_LEVELS
 from repro.parallel import SweepRunner
 from repro.units import VPASS_NOMINAL
 from repro.workloads.grid import BackendSpec, GeometrySpec, PolicySpec, ScenarioGrid
@@ -244,6 +249,21 @@ def build_parser() -> argparse.ArgumentParser:
         "checksummed columnar segment and exit (refuses while workers "
         "hold fresh leases)",
     )
+    telemetry = parser.add_argument_group(
+        "telemetry (repro.obs; strictly out-of-band — results are "
+        "bit-identical with tracing on)"
+    )
+    telemetry.add_argument(
+        "--trace", nargs="?", const="auto", default=None, metavar="DIR",
+        help="emit span traces as JSONL files under DIR; a bare --trace "
+        "defaults to <campaign-or-compact-dir>/trace",
+    )
+    telemetry.add_argument(
+        "--trace-detail", choices=DETAIL_LEVELS, default="coarse",
+        help="span volume: coarse (windows, attempts, lease/store ops), "
+        "flush (+ physics plan/execute/merge per read flush), block "
+        "(+ one span per per-block task)",
+    )
     parser.add_argument(
         "--serial-check", action="store_true",
         help="also run workers=1 in-process and assert the merged reports "
@@ -251,8 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
         "its serially-computed twin bit-for-bit)",
     )
     parser.add_argument(
-        "--json", type=Path, default=None, metavar="PATH",
-        help="write the full merged report as JSON",
+        "--json", type=Path, nargs="?", const=Path("-"), default=None,
+        metavar="PATH",
+        help="write the full merged report as JSON ('-' or a bare --json "
+        "= stdout); with --status, emit the status document as JSON "
+        "instead of the human-readable report",
     )
     return parser
 
@@ -426,19 +449,45 @@ def serial_check(grid, report) -> None:
     )
 
 
-def _progress_line(snapshot: dict) -> str:
+def _progress_line(snapshot: dict, elapsed: float | None = None) -> str:
     """One live progress line from a streaming-aggregate snapshot."""
     rber = snapshot.get("worst_block_rber") or {}
     rber_text = (
         f", worst-RBER p99 {rber['p99']:.2e}" if rber.get("p99") is not None
         else ""
     )
+    stamp = f" +{elapsed:.1f}s" if elapsed is not None else ""
     return (
-        f"progress: {snapshot['completed']} completed, "
+        f"progress{stamp}: {snapshot['completed']} completed, "
         f"{snapshot['failed_attempts']} failed attempt(s), "
         f"{snapshot['uncorrectable_pages']} uncorrectable page(s)"
         f"{rber_text}"
     )
+
+
+class ProgressWriter:
+    """Serialized writer for ``--progress`` lines.
+
+    ``--progress`` output used to go through bare ``print`` calls,
+    which interleave with worker stdout mid-line under load (stdout is
+    block-buffered when piped).  Every line now goes through one
+    lock-held ``write()`` of a complete line followed by a flush, and
+    carries a monotonic ``+<seconds>s`` field measured from writer
+    construction — wall-clock steps cannot reorder or alias the stamps.
+    """
+
+    def __init__(self, stream=None):
+        self._stream = stream if stream is not None else sys.stdout
+        self._start = time.monotonic()
+        self._lock = threading.Lock()
+
+    def emit(self, snapshot: dict) -> None:
+        line = _progress_line(
+            snapshot, elapsed=time.monotonic() - self._start
+        )
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
 
 
 def render_status(status: dict) -> str:
@@ -503,6 +552,11 @@ def render_status(status: dict) -> str:
     return "\n".join(lines)
 
 
+#: schema identity of the ``--status --json`` document.
+STATUS_FORMAT = "repro-campaign-status"
+STATUS_VERSION = 1
+
+
 def run_status_cli(args: argparse.Namespace) -> int:
     from repro.parallel import campaign_status
 
@@ -510,13 +564,51 @@ def run_status_cli(args: argparse.Namespace) -> int:
         status = campaign_status(args.status)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    if args.json is not None:
+        # One stable machine-readable document (the dashboard surface):
+        # schema-versioned, sorted keys, everything campaign_status
+        # derives from the durable store/lease artifacts.
+        doc = json.dumps(
+            {"format": STATUS_FORMAT, "version": STATUS_VERSION, **status},
+            indent=2,
+            sort_keys=True,
+        )
+        if str(args.json) == "-":
+            print(doc)
+        else:
+            args.json.write_text(doc + "\n")
+            print(f"status written to {args.json}")
+        return 0
     print(render_status(status))
     return 0
+
+
+def _resolve_trace_dir(args: argparse.Namespace) -> Path | None:
+    """Where ``--trace`` writes, or ``None`` when tracing is off.
+
+    A bare ``--trace`` means "into the campaign/compact directory" —
+    the one place every elastic worker of a campaign can agree on.
+    """
+    if args.trace is None:
+        return None
+    if args.trace != "auto":
+        return Path(args.trace)
+    base = args.campaign if args.campaign is not None else args.compact
+    if base is None:
+        raise SystemExit(
+            "a bare --trace needs --campaign DIR or --compact DIR to "
+            "anchor the trace directory; pass --trace DIR explicitly "
+            "for a plain sweep"
+        )
+    return Path(base) / "trace"
 
 
 def run_compact_cli(args: argparse.Namespace) -> int:
     from repro.parallel.store import ResultStore
 
+    trace_dir = _resolve_trace_dir(args)
+    if trace_dir is not None:
+        obs.configure(trace_dir, label="compact", detail=args.trace_detail)
     store = ResultStore(args.compact)
     if store.read_manifest() is None:
         raise SystemExit(f"{args.compact} is not an initialized campaign store")
@@ -567,6 +659,13 @@ def run_campaign_cli(args: argparse.Namespace, grid: ScenarioGrid):
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    trace_dir = _resolve_trace_dir(args)
+    if trace_dir is not None:
+        # The campaign's worker name is the deterministic trace label
+        # (elastic workers each get their own file in the shared dir).
+        obs.configure(
+            trace_dir, label=campaign.worker_name, detail=args.trace_detail
+        )
     if args.elastic:
         scope = f" (elastic worker {campaign.worker_name})"
     elif args.shard:
@@ -580,8 +679,7 @@ def run_campaign_cli(args: argparse.Namespace, grid: ScenarioGrid):
     )
     progress = None
     if args.progress is not None:
-        def progress(snapshot):
-            print(_progress_line(snapshot), flush=True)
+        progress = ProgressWriter().emit
     try:
         report = campaign.run(progress=progress)
     except ScenarioFailure as exc:
@@ -634,6 +732,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.serial_check:
             serial_check(grid, report)
     else:
+        trace_dir = _resolve_trace_dir(args)
+        if trace_dir is not None:
+            obs.configure(trace_dir, label="sweep", detail=args.trace_detail)
         runner = SweepRunner(workers=args.workers)
         print(
             f"sweeping {len(grid)} scenarios across {runner.workers} "
@@ -649,8 +750,11 @@ def main(argv: list[str] | None = None) -> int:
             serial_check(grid, report)
     print(summary_table(report))
     if args.json is not None:
-        args.json.write_text(report.to_json() + "\n")
-        print(f"full report written to {args.json}")
+        if str(args.json) == "-":
+            print(report.to_json())
+        else:
+            args.json.write_text(report.to_json() + "\n")
+            print(f"full report written to {args.json}")
     return 0
 
 

@@ -1,0 +1,13 @@
+"""Telemetry state is process-global: always disarm after each test so
+an armed tracer (pointed at a deleted tmp_path) cannot leak into the
+rest of the suite."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _disarm_telemetry():
+    yield
+    obs.reset()

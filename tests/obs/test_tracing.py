@@ -1,0 +1,266 @@
+"""Trace writer/loader suite: nesting, crash tolerance, merge identity.
+
+The trace format's promises are all file-level, so every test here
+round-trips real ``Tracer`` output through the same loader the CLI and
+``tools/trace_validate.py`` use: begin/end pairing, deterministic ids,
+implicit parenting, torn-tail and SIGKILL tolerance, and the
+cross-file merge that stitches worker traces to the coordinator's.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    DETAIL_LEVELS,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Tracer,
+    load_trace_file,
+    merge_spans,
+    trace_file_paths,
+)
+
+
+def spans_by_name(loaded):
+    return {span["name"]: span for span in loaded["spans"]}
+
+
+# ----------------------------------------------------------------------
+# Writing and round-tripping
+# ----------------------------------------------------------------------
+
+
+def test_header_is_first_line_and_schema_versioned(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    with tracer.span("outer"):
+        pass
+    tracer.close()
+    first = json.loads(tracer.path.read_text().splitlines()[0])
+    assert first["k"] == "header"
+    assert first["format"] == TRACE_FORMAT
+    assert first["version"] == TRACE_VERSION
+    assert first["label"] == "w0"
+
+
+def test_nested_spans_parent_implicitly_and_order_by_time(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    with tracer.span("outer", depth=0):
+        with tracer.span("inner", depth=1):
+            with tracer.span("leaf"):
+                pass
+    tracer.close()
+    loaded = load_trace_file(tracer.path)
+    assert loaded["skipped"] == 0
+    named = spans_by_name(loaded)
+    assert named["outer"]["parent"] is None
+    assert named["inner"]["parent"] == named["outer"]["id"]
+    assert named["leaf"]["parent"] == named["inner"]["id"]
+    # Temporal nesting: children start after and end before the parent.
+    assert named["outer"]["t0"] <= named["inner"]["t0"] <= named["leaf"]["t0"]
+    assert named["leaf"]["t1"] <= named["inner"]["t1"] <= named["outer"]["t1"]
+    # Ids are label-prefixed and sequential in begin order.
+    assert [span["id"] for span in loaded["spans"]] == [
+        "w0:000000", "w0:000001", "w0:000002",
+    ]
+
+
+def test_sibling_spans_share_the_parent(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    with tracer.span("outer"):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+    tracer.close()
+    named = spans_by_name(load_trace_file(tracer.path))
+    assert named["first"]["parent"] == named["outer"]["id"]
+    assert named["second"]["parent"] == named["outer"]["id"]
+    assert named["first"]["t1"] <= named["second"]["t0"]
+
+
+def test_end_attrs_merge_over_begin_attrs(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    span = tracer.begin("campaign.attempt", scenario="s/0", attempt=1)
+    tracer.end(span, outcome="ok")
+    tracer.close()
+    named = spans_by_name(load_trace_file(tracer.path))
+    assert named["campaign.attempt"]["attrs"] == {
+        "scenario": "s/0", "attempt": 1, "outcome": "ok",
+    }
+
+
+def test_exception_inside_span_records_error_attr(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    with pytest.raises(RuntimeError):
+        with tracer.span("scenario.run"):
+            raise RuntimeError("boom")
+    tracer.close()
+    named = spans_by_name(load_trace_file(tracer.path))
+    assert named["scenario.run"]["open"] is False
+    assert named["scenario.run"]["attrs"]["error"] == "RuntimeError"
+
+
+def test_record_writes_complete_spans_with_derived_ids(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    with tracer.span("physics.execute") as execute:
+        for block in (3, 7):
+            tracer.record(
+                "physics.block", 1.0, 2.0,
+                span_id=tracer.child_id(execute.id, f"b{block}"),
+                parent=execute.id, block=block,
+            )
+    tracer.close()
+    loaded = load_trace_file(tracer.path)
+    blocks = [s for s in loaded["spans"] if s["name"] == "physics.block"]
+    assert [s["id"] for s in blocks] == ["w0:000000/b3", "w0:000000/b7"]
+    assert all(s["parent"] == "w0:000000" for s in blocks)
+    assert all(s["open"] is False for s in blocks)
+
+
+def test_detached_spans_do_not_become_implicit_parents(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    root = tracer.begin("campaign.run")
+    attempt = tracer.begin(
+        "campaign.attempt", parent=root.id, detached=True
+    )
+    with tracer.span("store.append"):
+        pass
+    tracer.end(attempt, outcome="ok")
+    tracer.end(root)
+    tracer.close()
+    named = spans_by_name(load_trace_file(tracer.path))
+    # The detached attempt never joined the stack: the append's parent
+    # is the root, not the attempt held open by the scheduler.
+    assert named["store.append"]["parent"] == root.id
+    assert named["campaign.attempt"]["parent"] == root.id
+
+
+def test_detail_level_gates(tmp_path):
+    assert DETAIL_LEVELS == ("coarse", "flush", "block")
+    coarse = Tracer(tmp_path, "c", detail="coarse")
+    assert not coarse.detail_flush and not coarse.detail_block
+    flush = Tracer(tmp_path, "f", detail="flush")
+    assert flush.detail_flush and not flush.detail_block
+    block = Tracer(tmp_path, "b", detail="block")
+    assert block.detail_flush and block.detail_block
+
+
+# ----------------------------------------------------------------------
+# Crash tolerance
+# ----------------------------------------------------------------------
+
+
+def test_torn_tail_is_skipped_not_fatal(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    tracer.close()
+    with open(tracer.path, "a") as handle:
+        handle.write('{"k":"b","id":"w0:0000')  # the SIGKILL'd last line
+    loaded = load_trace_file(tracer.path)
+    assert loaded["skipped"] == 1
+    assert sorted(spans_by_name(loaded)) == ["inner", "outer"]
+
+
+def test_killed_writer_leaves_open_spans(tmp_path):
+    """A begin with no end — the writer died mid-span — loads as an
+    open span (t1 None), preserving its identity and parent link."""
+    tracer = Tracer(tmp_path, "w0")
+    outer = tracer.begin("campaign.run")
+    tracer.begin("campaign.attempt", parent=outer.id, scenario="s/9")
+    del tracer  # never ended, never closed: the SIGKILL shape
+    path = trace_file_paths(tmp_path)[0]
+    loaded = load_trace_file(path)
+    assert loaded["skipped"] == 0
+    named = spans_by_name(loaded)
+    assert named["campaign.run"]["open"] is True
+    assert named["campaign.run"]["t1"] is None
+    assert named["campaign.attempt"]["parent"] == named["campaign.run"]["id"]
+    assert named["campaign.attempt"]["attrs"] == {"scenario": "s/9"}
+
+
+def test_orphan_end_is_skipped(tmp_path):
+    tracer = Tracer(tmp_path, "w0")
+    with tracer.span("real"):
+        pass
+    tracer.close()
+    with open(tracer.path, "a") as handle:
+        handle.write('{"k":"e","id":"other:000042","t1":1.0}\n')
+    loaded = load_trace_file(tracer.path)
+    assert loaded["skipped"] == 1
+    assert list(spans_by_name(loaded)) == ["real"]
+
+
+def test_unreadable_header_yields_empty_source(tmp_path):
+    path = tmp_path / "trace-junk.jsonl"
+    path.write_text('{"k":"header","format":"other","version":9}\n')
+    loaded = load_trace_file(path)
+    assert loaded["header"] is None
+    assert loaded["spans"] == []
+    assert loaded["skipped"] == 1
+
+
+# ----------------------------------------------------------------------
+# Multi-writer merge
+# ----------------------------------------------------------------------
+
+
+def write_worker_pair(directory):
+    """A coordinator file plus a worker file whose root span parents
+    across files to the coordinator's attempt span (the campaign
+    shape).  Returns the attempt span's id."""
+    coordinator = Tracer(directory, "wA")
+    root = coordinator.begin("campaign.run")
+    attempt = coordinator.begin(
+        "campaign.attempt", parent=root.id, detached=True
+    )
+    worker = Tracer(directory, "wA.s0.a1")
+    with worker.span("scenario.run", parent=attempt.id):
+        pass
+    worker.close()
+    coordinator.end(attempt, outcome="ok")
+    coordinator.end(root)
+    coordinator.close()
+    return attempt.id
+
+
+def test_merge_is_deterministic_across_runs(tmp_path):
+    """Same logical run, same labels -> byte-for-byte identical merged
+    span identities, regardless of which run produced them."""
+    first = tmp_path / "run1"
+    second = tmp_path / "run2"
+    write_worker_pair(first)
+    write_worker_pair(second)
+    strip = lambda spans: [  # noqa: E731 - timing fields differ by run
+        {k: s[k] for k in ("id", "parent", "name", "open", "file")}
+        for s in spans
+    ]
+    assert strip(merge_spans(first)) == strip(merge_spans(second))
+
+
+def test_merge_links_worker_spans_to_coordinator(tmp_path):
+    attempt_id = write_worker_pair(tmp_path)
+    merged = {span["id"]: span for span in merge_spans(tmp_path)}
+    scenario = next(
+        span for span in merged.values() if span["name"] == "scenario.run"
+    )
+    assert scenario["parent"] == attempt_id
+    assert merged[attempt_id]["file"] != scenario["file"]
+    # Merged order is id-sorted, so it is stable under file arrival order.
+    assert list(merged) == sorted(merged)
+
+
+def test_merge_rejects_colliding_labels(tmp_path):
+    for _ in range(2):
+        tracer = Tracer(tmp_path, "same-label")
+        with tracer.span("x"):
+            pass
+        tracer.close()
+        # Two writers, one label: the second appends to the same file —
+        # simulate the collision by renaming the first out of the way.
+        if not (tmp_path / "trace-other.jsonl").exists():
+            tracer.path.rename(tmp_path / "trace-other.jsonl")
+    with pytest.raises(ValueError, match="appears in both"):
+        merge_spans(tmp_path)

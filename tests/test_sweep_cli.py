@@ -1,6 +1,9 @@
 """``python -m repro.sweep`` grid construction: multi-valued axes,
 executor plumbing, and a tiny end-to-end run."""
 
+import json
+import re
+
 import pytest
 
 from repro.sweep import build_grid, build_parser, main
@@ -244,6 +247,31 @@ def test_cli_elastic_campaign_status_and_compact(capsys, tmp_path):
     assert "1 segment(s) holding 2 record(s)" in out
 
 
+def test_cli_status_json_document(capsys, tmp_path):
+    """--status --json prints the full status as one stable JSON doc
+    whose counts come straight from the store."""
+    store = tmp_path / "store"
+    assert main([
+        "--workloads", "web_0",
+        "--days", "0.01",
+        "--blocks", "64", "--pages-per-block", "64",
+        "--seeds", "2",
+        "--campaign", str(store),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["--status", str(store), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == "repro-campaign-status"
+    assert doc["version"] == 1
+    assert doc["completed"] == 2
+    assert doc["scenario_count"] == 2
+    assert doc["failures"]["total"] == 0
+    # --json FILE writes the same document to disk instead.
+    out_path = tmp_path / "status.json"
+    assert main(["--status", str(store), "--json", str(out_path)]) == 0
+    assert json.loads(out_path.read_text()) == doc
+
+
 def test_cli_status_rejects_uninitialized_directory(tmp_path):
     with pytest.raises(SystemExit, match="not an initialized"):
         main(["--status", str(tmp_path / "nope")])
@@ -263,7 +291,8 @@ def test_cli_campaign_progress_lines(capsys, tmp_path):
         "--progress", "0.05",
     ]) == 0
     out = capsys.readouterr().out
-    assert "progress:" in out
+    # Lines carry a monotonic elapsed-time stamp: "progress +1.2s: ...".
+    assert re.search(r"progress \+\d+(\.\d+)?s:", out)
     assert "completed" in out
 
 

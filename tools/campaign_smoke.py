@@ -30,6 +30,14 @@ recovery stories, deterministically:
    heartbeat lapses (with a higher fencing token), finishes the grid,
    and its serial check must pass bit-for-bit.
 
+The elastic story runs with ``--trace`` armed, so it doubles as the
+telemetry acceptance check: the merged trace (including A's torn,
+SIGKILL'd files) must pass ``tools/trace_validate.py`` with spans for
+every scenario attempt, lease claim/renew, and compaction step; the
+reclaim must be visible as a ``lease.claim`` span with ``takeover`` and
+a fencing token >= 2; and ``--status --json`` must agree with the
+store's own counts exactly.
+
 Exit code 0 means both stories held, including the crash attempt in
 the failure ledger and the fenced re-claim in the lease file.
 
@@ -143,6 +151,7 @@ def elastic_smoke() -> int:
             "--blocks", "64", "--pages-per-block", "64",
             "--campaign", str(store),
             "--elastic", "--lease-batch", "1", "--lease-ttl", lease_ttl,
+            "--trace",
         ]
         env_a = dict(os.environ, **{ENV_FAULTS: f"hang:*:{hang_target}"})
         print(f"[1/4] elastic worker A pinned mid-lease (hang@{hang_target})")
@@ -203,7 +212,74 @@ def elastic_smoke() -> int:
             f"[4/4] B reclaimed b00000 with fencing token {state.token} "
             f"and --serial-check passed"
         )
+        if trace_checks(store, ids) != 0:
+            return 1
     print("elastic reclaim smoke: OK")
+    return 0
+
+
+def trace_checks(store: Path, ids: list[str]) -> int:
+    """Telemetry acceptance over the finished elastic store.
+
+    Compacts with tracing on (so compaction steps land in the same
+    trace directory), validates the merged trace structurally, asserts
+    the fenced reclaim is visible as a span, and cross-checks
+    ``--status --json`` against the store.
+    """
+    import json
+
+    from repro.obs.tracing import merge_spans
+
+    print("[5/6] compact with --trace, then validate the merged trace")
+    compacted = subprocess.run(
+        [sys.executable, "-m", "repro.sweep",
+         "--compact", str(store), "--trace"],
+    )
+    if compacted.returncode != 0:
+        print("FAIL: traced compaction failed")
+        return 1
+    validator = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve().parent / "trace_validate.py"),
+         str(store / "trace"),
+         "--expect", "campaign.run:2",
+         "--expect", f"campaign.attempt:{len(ids)}",
+         "--expect", "scenario.run",
+         "--expect", "lease.claim",
+         "--expect", "lease.renew",
+         "--expect", "store.append",
+         "--expect", "store.compact",
+         "--expect", "store.compact.collect"],
+    )
+    if validator.returncode != 0:
+        print("FAIL: trace validation failed")
+        return 1
+    spans = merge_spans(store / "trace")
+    reclaims = [
+        span for span in spans
+        if span["name"] == "lease.claim"
+        and span["attrs"].get("batch") == "b00000"
+        and span["attrs"].get("takeover")
+        and span["attrs"].get("token", 0) >= 2
+    ]
+    if not reclaims:
+        print("FAIL: no takeover lease.claim span for b00000 in the trace")
+        return 1
+    print("[6/6] --status --json agrees with the store")
+    status = subprocess.run(
+        [sys.executable, "-m", "repro.sweep", "--status", str(store), "--json"],
+        capture_output=True, text=True,
+    )
+    if status.returncode != 0:
+        print(f"FAIL: --status --json exited {status.returncode}")
+        return 1
+    doc = json.loads(status.stdout)
+    stored = ResultStore(store).scenario_ids()
+    if doc["completed"] != len(stored) or doc["completed"] != len(ids):
+        print(f"FAIL: status completed={doc['completed']} != store {len(stored)}")
+        return 1
+    if doc["scenario_count"] != len(ids):
+        print(f"FAIL: status scenario_count={doc['scenario_count']}")
+        return 1
     return 0
 
 

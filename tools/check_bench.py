@@ -9,7 +9,9 @@ reads the committed ``BENCH_physics.json`` at the repo root and fails
    recording), or
 2. a recorded number sits below its floor — the "never regress past
    this" line for each hot path, set with margin below the currently
-   committed values so machine jitter does not flap CI.
+   committed values so machine jitter does not flap CI, or
+3. a recorded overhead ratio rises above its ceiling (telemetry must
+   stay within 2% of the untraced flash-chip row).
 
 Core-count-gated floors (the multi-core speedups) only apply when the
 *recorded* payload says the recording machine had enough CPUs: a 1-CPU
@@ -42,6 +44,14 @@ FLOORS = [
     # The vectorized RS engine: batched mask decode vs. per-page loop
     # (ISSUE-8 acceptance bar: >= 10x on a 512-page batch).
     ("rs_decode", "speedup_batched", 10.0),
+]
+
+#: (section, key, ceiling) — overhead ratios that must stay *below* the
+#: line.  Floors guard "fast stays fast"; ceilings guard "cheap stays
+#: cheap" — today, that telemetry armed at coarse detail costs at most
+#: 2% of the flash-chip engine row.
+CEILINGS = [
+    ("engine_throughput", "telemetry_overhead_ratio", 1.02),
 ]
 
 #: (section, key, floor, min_cpus) — floors that only bind when the
@@ -104,6 +114,17 @@ def check(data: dict) -> list[str]:
             problems.append(
                 f"{section}.{key} = {value} regressed below floor {floor}"
             )
+    for section, key, ceiling in CEILINGS:
+        payload = data.get(section)
+        if payload is None:
+            continue
+        value = payload.get(key)
+        if value is None:
+            problems.append(f"{section}.{key} missing")
+        elif value > ceiling:
+            problems.append(
+                f"{section}.{key} = {value} rose above ceiling {ceiling}"
+            )
     for section, key, floor, min_cpus in CORE_GATED_FLOORS:
         payload = data.get(section)
         if payload is None:
@@ -136,12 +157,12 @@ def main() -> int:
         for problem in problems:
             print(f"FAIL: {problem}")
         return 1
-    armed = len(FLOORS) + sum(
+    armed = len(FLOORS) + len(CEILINGS) + sum(
         1
         for section, _, _, min_cpus in CORE_GATED_FLOORS
         if data.get(section, {}).get("cpu_count", 0) >= min_cpus
     )
-    print(f"BENCH_physics.json holds all floors ({armed} armed)")
+    print(f"BENCH_physics.json holds all floors and ceilings ({armed} armed)")
     return 0
 
 

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Structural validator for a ``repro.obs`` trace directory.
+
+A trace directory holds one append-only JSONL file per writer
+(``trace-<label>.jsonl``).  This tool loads every file with the same
+torn-tail-tolerant loader the library uses, merges them, and checks the
+invariants the begin/end event model promises:
+
+1. at least one file with a valid ``repro-trace`` header,
+2. span ids are globally unique across the merged set (per-writer
+   labels guarantee this by construction),
+3. every span's parent is either ``None`` or present in the merged set
+   (cross-file parents included — that is how worker scenario spans
+   attach to the coordinator's attempt spans),
+4. ``t0 <= t1`` for every closed span,
+5. same-file nesting is temporally sane: a child starts no earlier
+   than its parent (``parent.t0 <= child.t0``) and, when both are
+   closed, ends no later (``child.t1 <= parent.t1``).
+
+Open spans (``t1 is None``) are legal — they are exactly what a
+SIGKILL'd worker leaves behind — so no rule here requires an end.
+Cross-file timing is deliberately *not* compared: writers in different
+processes use unsynchronised monotonic clocks.
+
+``--expect NAME`` (repeatable, optionally ``NAME:MIN``) additionally
+requires at least MIN spans (default 1) with that name, so smoke tests
+can assert coverage ("every scenario attempt got a span") rather than
+mere parseability.
+
+Usage: ``python tools/trace_validate.py TRACE_DIR [--expect NAME[:MIN]]...``
+Exit 0 when every check passes, 1 otherwise, with one line per failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.tracing import load_trace_dir  # noqa: E402
+
+
+def parse_expect(raw: str) -> tuple[str, int]:
+    """``NAME`` or ``NAME:MIN`` -> (name, minimum count)."""
+    name, sep, count = raw.rpartition(":")
+    if sep and count.isdigit():
+        return name, int(count)
+    return raw, 1
+
+
+def validate(trace_dir: Path, expects: list[tuple[str, int]]) -> list[str]:
+    """Return a list of human-readable failures (empty = valid)."""
+    failures: list[str] = []
+    loaded = load_trace_dir(trace_dir)
+    if not loaded:
+        return [f"{trace_dir}: no trace-*.jsonl files found"]
+
+    headered = [entry for entry in loaded if entry["header"] is not None]
+    if not headered:
+        failures.append(f"{trace_dir}: no file has a valid repro-trace header")
+    for entry in loaded:
+        if entry["header"] is None:
+            failures.append(f"{entry['path'].name}: missing/invalid header")
+
+    # Merge by hand (not merge_spans) so duplicate ids become a listed
+    # failure instead of an exception that hides the other checks.
+    merged: dict[str, dict] = {}
+    for entry in loaded:
+        for span in entry["spans"]:
+            previous = merged.get(span["id"])
+            if previous is not None and previous["file"] != span["file"]:
+                failures.append(
+                    f"duplicate span id {span['id']!r} in "
+                    f"{previous['file']} and {span['file']}"
+                )
+                continue
+            merged[span["id"]] = span
+
+    for span in merged.values():
+        parent_id = span["parent"]
+        if parent_id is not None and parent_id not in merged:
+            failures.append(
+                f"{span['file']}: span {span['id']!r} ({span['name']}) "
+                f"references unknown parent {parent_id!r}"
+            )
+        if span["t1"] is not None and span["t1"] < span["t0"]:
+            failures.append(
+                f"{span['file']}: span {span['id']!r} ({span['name']}) "
+                f"ends before it starts (t0={span['t0']}, t1={span['t1']})"
+            )
+
+    # Same-file temporal nesting; cross-file clocks are unsynchronised.
+    for span in merged.values():
+        parent = merged.get(span["parent"]) if span["parent"] else None
+        if parent is None or parent["file"] != span["file"]:
+            continue
+        if span["t0"] < parent["t0"]:
+            failures.append(
+                f"{span['file']}: child {span['id']!r} starts before "
+                f"parent {parent['id']!r}"
+            )
+        if (span["t1"] is not None and parent["t1"] is not None
+                and span["t1"] > parent["t1"]):
+            failures.append(
+                f"{span['file']}: child {span['id']!r} ends after "
+                f"parent {parent['id']!r}"
+            )
+
+    names = Counter(span["name"] for span in merged.values())
+    for name, minimum in expects:
+        if names[name] < minimum:
+            failures.append(
+                f"expected >= {minimum} span(s) named {name!r}, "
+                f"found {names[name]}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace_dir", type=Path,
+                        help="directory holding trace-*.jsonl files")
+    parser.add_argument("--expect", action="append", default=[],
+                        metavar="NAME[:MIN]",
+                        help="require >= MIN spans (default 1) named NAME; "
+                             "repeatable")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line on success")
+    args = parser.parse_args(argv)
+
+    expects = [parse_expect(raw) for raw in args.expect]
+    failures = validate(args.trace_dir, expects)
+    if failures:
+        for failure in failures:
+            print(f"trace_validate: FAIL {failure}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        loaded = load_trace_dir(args.trace_dir)
+        spans = sum(len(entry["spans"]) for entry in loaded)
+        skipped = sum(entry["skipped"] for entry in loaded)
+        print(f"trace_validate: OK {len(loaded)} file(s), {spans} span(s), "
+              f"{skipped} skipped line(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
